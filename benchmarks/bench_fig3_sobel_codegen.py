@@ -1,0 +1,31 @@
+"""Figure 3: per-expression instruction selection on the Sobel pieces.
+
+Prints both compilers' instruction listings for the three Figure 3
+sub-expressions on all targets, and benchmarks the PITCHFORK compile of
+each (the online lift+lower cost per expression).
+"""
+
+import pytest
+
+from conftest import register_lazy_report
+from repro.evaluation.codegen_compare import figure3_cases, run_codegen_comparison
+from repro.pipeline import llvm_compile, pitchfork_compile
+from repro.targets import ARM, HVX, X86
+
+TARGETS = [X86, ARM, HVX]
+CASES = figure3_cases()
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda c: c.label)
+@pytest.mark.parametrize("target", TARGETS, ids=lambda t: t.name)
+def test_fig3_compile(benchmark, case, target):
+    prog = benchmark(pitchfork_compile, case.expr, target)
+    # every Figure 3 case must be at least as good as LLVM
+    llvm = llvm_compile(case.expr, target)
+    assert prog.cost().total <= llvm.cost().total
+
+
+register_lazy_report(
+    "Figure 3: Sobel sub-expression codegen (PITCHFORK vs LLVM)",
+    lambda: run_codegen_comparison(TARGETS),
+)

@@ -1,0 +1,51 @@
+"""Figure 7: impact of synthesized rules (hand-written-only ablation).
+
+Compiles every benchmark twice on ARM and HVX — full rules vs hand-written
+rules only — verifying both, benchmarking the hand-only compile, and
+printing the ablation speedup table.
+"""
+
+import pytest
+
+from conftest import register_lazy_report
+from repro.evaluation.ablation import AblationEvaluation, ablate_one
+from repro.pipeline import pitchfork_compile
+from repro.targets import ARM, HVX
+from repro.workloads import WORKLOADS, by_name
+
+TARGETS = [ARM, HVX]
+_EVAL = AblationEvaluation()
+
+
+@pytest.mark.parametrize("target", TARGETS, ids=lambda t: t.name)
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_fig7_ablation(benchmark, name, target):
+    wl = by_name(name)
+    benchmark(
+        pitchfork_compile,
+        wl.expr,
+        target,
+        var_bounds=wl.var_bounds,
+        use_synthesized=False,
+    )
+    result = ablate_one(wl, target)
+    assert result.verified
+    _EVAL.results.append(result)
+
+
+def _fig7_report():
+    if not _EVAL.results:
+        return "(no results collected)"
+    lines = [_EVAL.format_table(), ""]
+    lines.append(
+        "Paper reference: geomeans 1.09x (ARM) / 1.14x (HVX); max 4.99x "
+        "(average_pool, HVX).  This reproduction's largest ablation win "
+        "lands on the add benchmark instead (same mechanism: synthesized "
+        "fused MAC + rounding-narrow rules)."
+    )
+    return "\n".join(lines)
+
+
+register_lazy_report(
+    "Figure 7: speedup of full rules over hand-written only", _fig7_report
+)

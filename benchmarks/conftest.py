@@ -1,0 +1,47 @@
+"""Shared fixtures for the paper-figure benchmark harnesses.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each ``bench_fig*.py`` regenerates one figure of the paper's evaluation:
+pytest-benchmark measures the compile pipelines (the quantity Figure 6
+reports), and each module registers a lazy report — speedup tables over
+LLVM, Rake gaps, ablations — printed in the session summary.
+"""
+
+from typing import Callable, List, Tuple
+
+import pytest
+
+_LAZY_REPORTS: List[Tuple[str, Callable[[], str]]] = []
+
+
+def register_lazy_report(title: str, fn: Callable[[], str]) -> None:
+    """Register a report builder, rendered at session end."""
+    _LAZY_REPORTS.append((title, fn))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--figure-reports",
+        action="store_true",
+        default=True,
+        help="print the paper-figure data tables at session end",
+    )
+
+
+@pytest.hookimpl(trylast=True)
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not config.getoption("--figure-reports"):
+        return
+    for title, fn in _LAZY_REPORTS:
+        try:
+            body = fn()
+        except Exception as exc:  # pragma: no cover - report resilience
+            body = f"(report unavailable: {exc})"
+        if body is None:
+            continue
+        terminalreporter.write_sep("=", title)
+        for line in body.splitlines():
+            terminalreporter.write_line(line)

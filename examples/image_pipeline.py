@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""A fixed-point image-processing pipeline on a real (synthetic) image.
+
+Runs a camera-style chain — black level, 3x1 binomial blur, Sobel-style
+edge magnitude, saturating sharpen — over an actual 2-D uint8 image, by
+compiling the inner vector kernel with PITCHFORK and sweeping it across
+image rows (the way Halide's schedule would drive it).
+
+Prints per-target instruction counts and modelled cycles per row, plus a
+tiny ASCII rendering of the input and edge map.
+
+Run:  python examples/image_pipeline.py
+"""
+
+import math
+
+from repro import fpir as F
+from repro import llvm_compile, pitchfork_compile, targets
+from repro.ir import builders as h
+
+
+def build_kernel():
+    """Edge-enhance kernel over 3 horizontal taps (left, centre, right)."""
+    left = h.var("left", h.U8)
+    centre = h.var("centre", h.U8)
+    right = h.var("right", h.U8)
+    # black level (plain)
+    l0 = h.maximum(left, 16) - 16
+    c0 = h.maximum(centre, 16) - 16
+    r0 = h.maximum(right, 16) - 16
+    # binomial blur: (l + 2c + r + 2) >> 2
+    blur = h.u8((h.u16(l0) + h.u16(c0) * 2 + h.u16(r0) + 2) >> 2)
+    # horizontal gradient magnitude
+    grad = F.Absd(l0, r0)
+    # sharpened output: blur + gradient, saturating
+    return h.u8(h.minimum(h.u16(blur) + h.u16(grad), 255))
+
+
+def synthetic_image(w=48, h_=16):
+    img = []
+    for y in range(h_):
+        row = []
+        for x in range(w):
+            v = int(127 + 120 * math.sin(x / 5.0) * math.cos(y / 3.0))
+            row.append(max(0, min(255, v)))
+        img.append(row)
+    return img
+
+
+def run_rows(prog, img):
+    out = []
+    for row in img:
+        padded = [row[0]] + row + [row[-1]]
+        env = {
+            "left": padded[:-2],
+            "centre": padded[1:-1],
+            "right": padded[2:],
+        }
+        out.append(prog.run(env))
+    return out
+
+
+def ascii_render(img, title):
+    ramp = " .:-=+*#%@"
+    print(title)
+    for row in img[::2]:
+        print("".join(ramp[min(9, v * 10 // 256)] for v in row))
+    print()
+
+
+def main() -> None:
+    kernel = build_kernel()
+    img = synthetic_image()
+
+    print("kernel:", kernel)
+    print()
+    for target in (targets.X86, targets.ARM, targets.HVX):
+        pf = pitchfork_compile(kernel, target)
+        ll = llvm_compile(kernel, target)
+        rows = len(img)
+        pf_cycles = pf.cost(lanes=len(img[0])).total * rows
+        ll_cycles = ll.cost(lanes=len(img[0])).total * rows
+        print(f"{target.name:<12} PITCHFORK {len(pf.instructions):>2} "
+              f"instrs / {pf_cycles:7.0f} modelled cycles per frame   "
+              f"LLVM {len(ll.instructions):>2} instrs / {ll_cycles:7.0f} "
+              f"({ll_cycles / pf_cycles:.2f}x)")
+
+    prog = pitchfork_compile(kernel, targets.ARM)
+    result = run_rows(prog, img)
+    print()
+    ascii_render(img, "input:")
+    ascii_render(result, "edge-enhanced output (computed by the lowered "
+                 "ARM program):")
+
+
+if __name__ == "__main__":
+    main()

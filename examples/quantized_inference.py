@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Quantized neural-network inference kernels, written directly in FPIR.
+
+§2.3: "domain experts who think in terms of these fixed-point idioms can
+express their computation using FPIR instructions in portable code."
+This example plays that expert: it writes a quantized convolution +
+requantization + activation kernel *directly* in FPIR (no lifting needed),
+compiles it for all three ISAs, and runs an actual int8 inference step on
+synthetic image data, checking the results against a float reference.
+
+Run:  python examples/quantized_inference.py
+"""
+
+import random
+
+from repro import fpir as F
+from repro import pitchfork_compile, targets
+from repro.analysis import Interval
+from repro.ir import builders as h
+
+
+def build_kernel():
+    """One output channel of a quantized 1x3 convolution.
+
+    acc   = sum(widening_mul(x_i, w_i)) + bias        (i16 x i16 -> i32)
+    req   = rounding_mul_shr(sat16(acc), m, 15)       (q15 requantize)
+    out   = saturating_cast<u8>(req + zero_point)
+    """
+    xs = [h.var(f"x{i}", h.I16) for i in range(3)]
+    ws = [h.var(f"w{i}", h.I16) for i in range(3)]
+    prods = [F.WideningMul(x, w) for x, w in zip(xs, ws)]
+    acc = prods[0] + prods[1] + prods[2] + h.var("bias", h.I32)
+    s16 = F.SaturatingNarrow(acc)
+    req = F.RoundingMulShr(s16, h.var("m", h.I16), h.const(h.I16, 15))
+    shifted = F.SaturatingAdd(req, h.var("zp", h.I16))
+    out = F.SaturatingCast(h.U8, shifted)
+    bounds = {
+        "bias": Interval(-(1 << 16), 1 << 16),
+        "m": Interval(1 << 13, (1 << 15) - 1),
+        "zp": Interval(-128, 127),
+    }
+    return out, bounds
+
+
+def float_reference(xs, ws, bias, m, zp):
+    acc = sum(x * w for x, w in zip(xs, ws)) + bias
+    acc = max(-32768, min(32767, acc))
+    req = int((acc * m + (1 << 14)) >> 15)
+    req = max(-32768, min(32767, req))
+    return max(0, min(255, req + zp))
+
+
+def main() -> None:
+    expr, bounds = build_kernel()
+    print("FPIR kernel (written directly, no lifting):")
+    print(f"  {expr}")
+    print()
+
+    rng = random.Random(7)
+    lanes = 64
+    env = {
+        **{f"x{i}": [rng.randint(0, 1023) for _ in range(lanes)]
+           for i in range(3)},
+        **{f"w{i}": [rng.randint(-64, 64) for _ in range(lanes)]
+           for i in range(3)},
+        "bias": [rng.randint(-1000, 1000)] * lanes,
+        "m": [19661] * lanes,   # ~0.6 in Q15
+        "zp": [12] * lanes,
+    }
+
+    for target in (targets.X86, targets.ARM, targets.HVX):
+        prog = pitchfork_compile(expr, target, var_bounds=bounds)
+        out = prog.run(env)
+        # spot-check lane 0 against the straightforward reference
+        ref0 = float_reference(
+            [env[f"x{i}"][0] for i in range(3)],
+            [env[f"w{i}"][0] for i in range(3)],
+            env["bias"][0], env["m"][0], env["zp"][0],
+        )
+        status = "ok" if out[0] == ref0 else "MISMATCH"
+        print(f"{target.name:<12} {len(prog.instructions):>2} instrs, "
+              f"{prog.cost().total:>5.1f} cycles/vec   lane0={out[0]} "
+              f"(ref {ref0}) {status}")
+        print(f"  {' / '.join(prog.instructions)}")
+    print()
+    print("Note the requantization compiles to a single instruction "
+          "everywhere: sqrdmulh (ARM), vpmulhrsw (x86), vmpy:rnd:sat "
+          "(HVX) — the §5.1.2 quantized-ML win.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: compile the Sobel filter with PITCHFORK (paper §2).
+
+Walks the full Figure 1 online path on the paper's motivating example:
+
+1. build the Sobel vector expression in portable primitive integer
+   arithmetic (Figure 2b);
+2. lift it into FPIR (Figure 2c);
+3. lower it to each target ISA and print the Figure 3-style listings;
+4. execute the lowered program against the interpreter to confirm it is
+   lane-exact, and compare modelled cycles with the LLVM baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import llvm_compile, pitchfork_compile, targets
+from repro.interp import evaluate
+from repro.workloads import by_name
+
+
+def main() -> None:
+    wl = by_name("sobel3x3")
+
+    print("=== Sobel, as written (primitive integer IR — Figure 2b) ===")
+    print(wl.expr)
+    print()
+
+    # Compile for every backend.
+    for target in (targets.X86, targets.ARM, targets.HVX):
+        prog = pitchfork_compile(wl.expr, target)
+        llvm = llvm_compile(wl.expr, target)
+
+        if target is targets.X86:
+            print("=== lifted to FPIR (Figure 2c) ===")
+            print(prog.lifted)
+            print()
+
+        speedup = llvm.cost().total / prog.cost().total
+        print(f"=== {target.name}: {speedup:.2f}x over LLVM "
+              f"({prog.cost().total:.1f} vs {llvm.cost().total:.1f} "
+              f"modelled cycles/vector) ===")
+        print("PITCHFORK:")
+        for line in prog.assembly().splitlines():
+            print(f"  {line}")
+        print("LLVM:")
+        for line in llvm.assembly().splitlines():
+            print(f"  {line}")
+        print()
+
+        # Every compiled program is executable: check it lane-for-lane.
+        env = wl.random_env(lanes=32, seed=42)
+        assert prog.run(env) == evaluate(wl.expr, env)
+        assert llvm.run(env) == evaluate(wl.expr, env)
+
+    print("all lowered programs verified lane-exactly against the "
+          "interpreter ✓")
+
+
+if __name__ == "__main__":
+    main()

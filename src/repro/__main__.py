@@ -1,0 +1,213 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+compile     compile a benchmark (or the Figure 3 cases) and show the
+            selected instructions for one or all targets
+evaluate    regenerate a paper figure's data table (fig3/fig5/fig6/fig7)
+workloads   list the benchmark suite
+rules       list/verify the rule sets
+synthesize  run the §4 offline pipeline over chosen benchmarks
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import targets as T
+from .pipeline import (
+    LLVMCompileError,
+    llvm_compile,
+    pitchfork_compile,
+    rake_compile,
+)
+from .workloads import WORKLOADS, by_name
+
+
+def _target_list(name: str):
+    if name == "all":
+        return list(T.PAPER_TARGETS)
+    if name == "every":
+        return list(T.ALL_TARGETS.values())
+    return [T.by_name(name)]
+
+
+def cmd_compile(args) -> int:
+    wl = by_name(args.workload)
+    for target in _target_list(args.target):
+        print(f"== {wl.name} on {target.name}")
+        pf = pitchfork_compile(wl.expr, target, var_bounds=wl.var_bounds)
+        if args.show_fpir:
+            print(f"-- lifted FPIR:\n{pf.lifted}")
+        print(f"-- PITCHFORK ({pf.cost().total:.1f} modelled cycles/vec):")
+        print(pf.assembly())
+        if args.compare:
+            try:
+                ll = llvm_compile(wl.expr, target, var_bounds=wl.var_bounds)
+            except LLVMCompileError as exc:
+                print(f"-- LLVM: failed to compile ({exc}); retrying "
+                      f"with the §5.1 q31 substitution")
+                ll = llvm_compile(
+                    wl.expr, target, var_bounds=wl.var_bounds,
+                    q31_fallback=True,
+                )
+            speed = ll.cost().total / pf.cost().total
+            print(f"-- LLVM ({ll.cost().total:.1f} cycles/vec; "
+                  f"PITCHFORK is {speed:.2f}x faster):")
+            print(ll.assembly())
+        if args.rake and target.name in ("arm-neon", "hexagon-hvx"):
+            rk = rake_compile(wl.expr, target, var_bounds=wl.var_bounds)
+            print(f"-- Rake oracle ({rk.cost().total:.1f} cycles/vec):")
+            print(rk.assembly())
+        print()
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    if args.figure == "all":
+        from .evaluation.report import build_full_report
+
+        report = build_full_report(
+            with_rake=not args.no_rake, compile_repeats=args.repeats
+        )
+        if args.write:
+            with open(args.write, "w") as fh:
+                fh.write(report)
+            print(f"wrote {args.write}")
+        else:
+            print(report)
+        return 0
+    if args.figure == "fig3":
+        from .evaluation import run_codegen_comparison
+
+        print(run_codegen_comparison())
+    elif args.figure == "fig5":
+        from .evaluation import run_runtime_evaluation
+
+        ev = run_runtime_evaluation(with_rake=not args.no_rake)
+        print(ev.format_table())
+    elif args.figure == "fig6":
+        from .evaluation import run_compile_time_evaluation
+
+        print(run_compile_time_evaluation(repeats=args.repeats).format_table())
+    elif args.figure == "fig7":
+        from .evaluation import run_ablation
+
+        print(run_ablation().format_table())
+    return 0
+
+
+def cmd_workloads(args) -> int:
+    for name in WORKLOADS:
+        wl = by_name(name)
+        print(f"{wl.name:<16} [{wl.category:<6}] {wl.expr.size:>3} nodes  "
+              f"{wl.description}")
+    return 0
+
+
+def cmd_rules(args) -> int:
+    from .lifting import HAND_RULES, SYNTHESIZED_RULES
+
+    sets = [("lifting (hand)", HAND_RULES),
+            ("lifting (synthesized)", SYNTHESIZED_RULES)]
+    for target in T.ALL_TARGETS.values():
+        sets.append((f"lowering ({target.name})", target.lowering_rules))
+    total = 0
+    for label, rules in sets:
+        print(f"-- {label}: {len(rules)} rules")
+        total += len(rules)
+        if args.verbose:
+            for r in rules:
+                tag = "" if r.source == "hand" else f"   [{r.source}]"
+                print(f"   {r.name:<40} {r.lhs} -> {r.rhs}{tag}")
+    print(f"total: {total} rules")
+    if args.verify:
+        from .verify import verify_rule
+
+        failures = 0
+        for label, rules in sets[:2]:  # lifting rules have full semantics
+            for r in rules:
+                report = verify_rule(
+                    r, max_type_combos=6, max_const_samples=4,
+                    max_points=400,
+                )
+                if not report.ok:
+                    failures += 1
+                    print(f"FAIL {r.name}: {report.counterexample}")
+        print("verification:", "all lifting rules OK" if not failures
+              else f"{failures} failures")
+        return 1 if failures else 0
+    return 0
+
+
+def cmd_synthesize(args) -> int:
+    from .synthesis import synthesize_lifting_rules
+
+    wls = [by_name(n) for n in (args.benchmarks or WORKLOADS[:4])]
+    run = synthesize_lifting_rules(
+        workloads=wls,
+        max_lhs_size=args.max_lhs_size,
+        max_candidates=args.max_candidates,
+    )
+    print(run.summary())
+    for rule in run.rules:
+        print(f"  {rule.lhs}  ->  {rule.rhs}   [{rule.source}]")
+    if args.out:
+        from .trs.serialize import dump_rules
+
+        with open(args.out, "w") as fh:
+            fh.write(dump_rules(run.rules))
+        print(f"wrote {len(run.rules)} rules to {args.out}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="PITCHFORK reproduction: fixed-point instruction "
+        "selection via lift-then-lower term rewriting",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile a benchmark")
+    p.add_argument("workload", choices=WORKLOADS)
+    p.add_argument("--target", default="all",
+                   help="target name, 'all' (paper targets) or 'every'")
+    p.add_argument("--compare", action="store_true",
+                   help="also show the LLVM baseline")
+    p.add_argument("--rake", action="store_true",
+                   help="also run the Rake oracle (ARM/HVX)")
+    p.add_argument("--show-fpir", action="store_true")
+    p.set_defaults(fn=cmd_compile)
+
+    p = sub.add_parser("evaluate", help="regenerate a paper figure")
+    p.add_argument("figure",
+                   choices=["fig3", "fig5", "fig6", "fig7", "all"])
+    p.add_argument("--no-rake", action="store_true")
+    p.add_argument("--repeats", type=int, default=3)
+    p.add_argument("--write", help="write the report to a file")
+    p.set_defaults(fn=cmd_evaluate)
+
+    p = sub.add_parser("workloads", help="list the benchmark suite")
+    p.set_defaults(fn=cmd_workloads)
+
+    p = sub.add_parser("rules", help="list/verify the rule sets")
+    p.add_argument("--verbose", action="store_true")
+    p.add_argument("--verify", action="store_true")
+    p.set_defaults(fn=cmd_rules)
+
+    p = sub.add_parser("synthesize", help="run the §4 offline pipeline")
+    p.add_argument("benchmarks", nargs="*", choices=WORKLOADS + [[]],
+                   help="benchmarks to mine (default: first four)")
+    p.add_argument("--max-lhs-size", type=int, default=6)
+    p.add_argument("--max-candidates", type=int, default=60)
+    p.add_argument("--out", help="write learned rules to a rule file")
+    p.set_defaults(fn=cmd_synthesize)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

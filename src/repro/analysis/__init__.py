@@ -1,0 +1,3 @@
+"""Compile-time analyses: interval (bounds) inference for predicated rules."""
+
+from .intervals import BoundsAnalyzer, BoundsContext, Interval  # noqa: F401

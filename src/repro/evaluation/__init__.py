@@ -1,0 +1,15 @@
+"""Evaluation harnesses: one module per paper figure (see DESIGN.md §3)."""
+
+from .ablation import AblationEvaluation, run_ablation  # noqa: F401
+from .codegen_compare import run_codegen_comparison  # noqa: F401
+from .compile_time import (  # noqa: F401
+    CompileTimeEvaluation,
+    run_compile_time_evaluation,
+)
+from .runtime import (  # noqa: F401
+    BenchmarkResult,
+    RuntimeEvaluation,
+    run_one,
+    run_runtime_evaluation,
+)
+from .report import build_full_report  # noqa: F401

@@ -1,0 +1,117 @@
+"""Figure 6: compilation-time speedup over the LLVM baseline.
+
+Both flows are wall-clock timed end-to-end, including the shared
+downstream backend passes (:mod:`repro.machine.backend_passes`) whose
+running time scales with the amount of IR each selector emits.  PITCHFORK
+emits coarser (hence less) IR, so despite doing extra lift/lower work it
+compiles most benchmarks at least as fast — with the biggest win on
+softmax, whose primitive spelling is enormous (§5.2).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..pipeline import LLVMCompileError, llvm_compile, pitchfork_compile
+from ..targets import ARM, HVX, X86, Target
+from ..workloads import Workload, all_workloads
+
+__all__ = [
+    "CompileTimeResult",
+    "CompileTimeEvaluation",
+    "run_compile_time_evaluation",
+]
+
+
+@dataclass
+class CompileTimeResult:
+    workload: str
+    target: str
+    llvm_seconds: float
+    pitchfork_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        return self.llvm_seconds / self.pitchfork_seconds
+
+
+@dataclass
+class CompileTimeEvaluation:
+    results: List[CompileTimeResult] = field(default_factory=list)
+
+    def geomean_speedup(self, target_name: str) -> float:
+        vals = [
+            r.speedup for r in self.results if r.target == target_name
+        ]
+        return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+    def format_table(self) -> str:
+        by_wl: Dict[str, Dict[str, CompileTimeResult]] = {}
+        for r in self.results:
+            by_wl.setdefault(r.workload, {})[r.target] = r
+        lines = [f"{'benchmark':<16} {'x86':>6} {'ARM':>6} {'HVX':>6}"]
+        for wl, per in by_wl.items():
+            row = [f"{wl:<16}"]
+            for t in ("x86-avx2", "arm-neon", "hexagon-hvx"):
+                r = per.get(t)
+                row.append(f"{r.speedup:>6.2f}" if r else f"{'-':>6}")
+            lines.append(" ".join(row))
+        lines.append("-" * 40)
+        for t in ("x86-avx2", "arm-neon", "hexagon-hvx"):
+            try:
+                lines.append(f"geomean {t}: {self.geomean_speedup(t):.2f}x")
+            except (ValueError, ZeroDivisionError):
+                pass
+        return "\n".join(lines)
+
+
+def _timed_best_of(fn, repeats: int) -> float:
+    best = math.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure_one(
+    wl: Workload, target: Target, repeats: int = 3
+) -> CompileTimeResult:
+    """Best-of-N wall-clock compile times for both flows on one case."""
+    def do_pf():
+        pitchfork_compile(wl.expr, target, var_bounds=wl.var_bounds)
+
+    def do_llvm():
+        try:
+            llvm_compile(wl.expr, target, var_bounds=wl.var_bounds)
+        except LLVMCompileError:
+            llvm_compile(
+                wl.expr, target, var_bounds=wl.var_bounds, q31_fallback=True
+            )
+
+    return CompileTimeResult(
+        workload=wl.name,
+        target=target.name,
+        llvm_seconds=_timed_best_of(do_llvm, repeats),
+        pitchfork_seconds=_timed_best_of(do_pf, repeats),
+    )
+
+
+def run_compile_time_evaluation(
+    workload_names: Optional[List[str]] = None,
+    targets: Optional[List[Target]] = None,
+    repeats: int = 3,
+) -> CompileTimeEvaluation:
+    """Run the Figure 6 compile-time sweep."""
+    wls = all_workloads()
+    if workload_names is not None:
+        wls = [w for w in wls if w.name in set(workload_names)]
+    tgts = targets if targets is not None else [X86, ARM, HVX]
+    ev = CompileTimeEvaluation()
+    for wl in wls:
+        for tgt in tgts:
+            ev.results.append(measure_one(wl, tgt, repeats=repeats))
+    return ev

@@ -1,0 +1,191 @@
+"""Figure 5: runtime speedups over LLVM instruction selection.
+
+For every benchmark x backend, compile with:
+
+* the **LLVM baseline** (falling back to the §5.1 q31 substitution when
+  LLVM cannot compile — depthwise_conv/matmul/mul on HVX);
+* **PITCHFORK** under the §5 leave-one-out protocol (synthesized rules
+  whose only provenance is the benchmark under test are excluded);
+* the **Rake oracle** on ARM and HVX (Rake has no x86 backend).
+
+Runtime is the simulator's modelled cycles per vector iteration; each
+compiled program is also executed against the interpreter on random
+inputs, so every number in the table is backed by a lane-exact
+correctness check.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..interp import evaluate
+from ..pipeline import (
+    LLVMCompileError,
+    llvm_compile,
+    pitchfork_compile,
+    rake_compile,
+)
+from ..targets import ALL_TARGETS, ARM, HVX, X86, Target
+from ..workloads import Workload, all_workloads
+
+__all__ = ["BenchmarkResult", "RuntimeEvaluation", "run_runtime_evaluation"]
+
+RAKE_TARGETS = ("arm-neon", "hexagon-hvx")
+
+
+@dataclass
+class BenchmarkResult:
+    workload: str
+    target: str
+    llvm_cycles: float
+    pitchfork_cycles: float
+    rake_cycles: Optional[float] = None
+    llvm_substituted: bool = False
+    verified: bool = False
+
+    @property
+    def speedup(self) -> float:
+        """PITCHFORK speedup over LLVM (Figure 5's bars)."""
+        return self.llvm_cycles / self.pitchfork_cycles
+
+    @property
+    def rake_speedup(self) -> Optional[float]:
+        if self.rake_cycles is None:
+            return None
+        return self.llvm_cycles / self.rake_cycles
+
+
+@dataclass
+class RuntimeEvaluation:
+    results: List[BenchmarkResult] = field(default_factory=list)
+
+    def for_target(self, target_name: str) -> List[BenchmarkResult]:
+        return [r for r in self.results if r.target == target_name]
+
+    def geomean_speedup(self, target_name: str) -> float:
+        vals = [r.speedup for r in self.for_target(target_name)]
+        return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+    def max_speedup(self, target_name: str) -> float:
+        return max(r.speedup for r in self.for_target(target_name))
+
+    def rake_gap(self, target_name: str) -> Optional[float]:
+        """Mean PITCHFORK slowdown vs Rake (paper: 2% ARM, 13% HVX)."""
+        pairs = [
+            (r.pitchfork_cycles, r.rake_cycles)
+            for r in self.for_target(target_name)
+            if r.rake_cycles is not None
+        ]
+        if not pairs:
+            return None
+        ratios = [p / k for p, k in pairs]
+        return math.exp(sum(math.log(v) for v in ratios) / len(ratios)) - 1.0
+
+    def format_table(self) -> str:
+        """The Figure 5 data as text."""
+        lines = [
+            f"{'benchmark':<16} {'x86':>7} {'ARM':>7} {'HVX':>7} "
+            f"{'Rake ARM':>9} {'Rake HVX':>9}"
+        ]
+        by_wl: Dict[str, Dict[str, BenchmarkResult]] = {}
+        for r in self.results:
+            by_wl.setdefault(r.workload, {})[r.target] = r
+
+        def fmt(r: Optional[BenchmarkResult], rake: bool = False) -> str:
+            if r is None:
+                return "-"
+            v = r.rake_speedup if rake else r.speedup
+            if v is None:
+                return "-"
+            star = "*" if r.llvm_substituted else ""
+            return f"{v:.2f}{star}"
+
+        for wl, per_target in by_wl.items():
+            lines.append(
+                f"{wl:<16} {fmt(per_target.get('x86-avx2')):>7} "
+                f"{fmt(per_target.get('arm-neon')):>7} "
+                f"{fmt(per_target.get('hexagon-hvx')):>7} "
+                f"{fmt(per_target.get('arm-neon'), rake=True):>9} "
+                f"{fmt(per_target.get('hexagon-hvx'), rake=True):>9}"
+            )
+        lines.append("-" * 60)
+        for t in ("x86-avx2", "arm-neon", "hexagon-hvx"):
+            lines.append(
+                f"geomean {t:<12} {self.geomean_speedup(t):.2f}x "
+                f"(max {self.max_speedup(t):.2f}x)"
+            )
+        for t in RAKE_TARGETS:
+            gap = self.rake_gap(t)
+            if gap is not None:
+                lines.append(
+                    f"PITCHFORK vs Rake on {t}: {gap * 100:+.1f}% cycles"
+                )
+        lines.append("(* = LLVM compiled via the §5.1 q31 substitution)")
+        return "\n".join(lines)
+
+
+def _compile_llvm(wl: Workload, target: Target):
+    try:
+        return llvm_compile(wl.expr, target, var_bounds=wl.var_bounds), False
+    except LLVMCompileError:
+        return (
+            llvm_compile(
+                wl.expr, target, var_bounds=wl.var_bounds, q31_fallback=True
+            ),
+            True,
+        )
+
+
+def run_one(
+    wl: Workload,
+    target: Target,
+    with_rake: bool = True,
+    verify_lanes: int = 32,
+    leave_one_out: bool = True,
+) -> BenchmarkResult:
+    """Compile one benchmark on one target with all compilers + verify."""
+    exclude = {f"synth:{wl.name}"} if leave_one_out else set()
+    pf = pitchfork_compile(
+        wl.expr, target, var_bounds=wl.var_bounds, exclude_sources=exclude
+    )
+    llvm, substituted = _compile_llvm(wl, target)
+
+    env = wl.random_env(lanes=verify_lanes, seed=11)
+    ref = evaluate(wl.expr, env)
+    verified = pf.run(env) == ref and llvm.run(env) == ref
+
+    rake_cycles = None
+    if with_rake and target.name in RAKE_TARGETS:
+        rake = rake_compile(wl.expr, target, var_bounds=wl.var_bounds)
+        if rake.run(env) != ref:
+            verified = False
+        rake_cycles = rake.cost().total
+
+    return BenchmarkResult(
+        workload=wl.name,
+        target=target.name,
+        llvm_cycles=llvm.cost().total,
+        pitchfork_cycles=pf.cost().total,
+        rake_cycles=rake_cycles,
+        llvm_substituted=substituted,
+        verified=verified,
+    )
+
+
+def run_runtime_evaluation(
+    workload_names: Optional[List[str]] = None,
+    targets: Optional[List[Target]] = None,
+    with_rake: bool = True,
+) -> RuntimeEvaluation:
+    """Regenerate the full Figure 5 dataset."""
+    wls = all_workloads()
+    if workload_names is not None:
+        wls = [w for w in wls if w.name in set(workload_names)]
+    tgts = targets if targets is not None else [X86, ARM, HVX]
+    ev = RuntimeEvaluation()
+    for wl in wls:
+        for tgt in tgts:
+            ev.results.append(run_one(wl, tgt, with_rake=with_rake))
+    return ev

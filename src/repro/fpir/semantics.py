@@ -1,0 +1,205 @@
+"""Reference semantics for FPIR: expansion into primitive integer IR.
+
+Each FPIR instruction is *defined* as a composition of primitive integer
+operations (paper Table 1).  :func:`expand` performs one definitional step —
+its output may still contain other FPIR instructions, exactly as Table 1's
+right-hand sides do (e.g. ``saturating_add`` is defined via ``widening_add``
+and ``saturating_narrow``).  :func:`expand_fully` iterates to a pure core-IR
+tree.
+
+These expansions serve three roles:
+
+1. the ground truth the direct evaluators are property-tested against;
+2. the "Halide without PITCHFORK" path: the LLVM baseline first expands any
+   user-written FPIR into primitive arithmetic, mirroring how Halide lowers
+   intrinsics when PITCHFORK is disabled;
+3. the semantics given to the offline synthesizer and rule verifier.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir import expr as E
+from ..ir.types import ScalarType
+from ..ir.traversal import transform_bottom_up
+from . import ops as F
+
+__all__ = ["expand", "expand_fully", "saturate_bounds_clamp"]
+
+
+def _widen(x: E.Expr) -> E.Expr:
+    return E.Cast(x.type.widen(), x)
+
+
+def _widen_signed(x: E.Expr) -> E.Expr:
+    return E.Cast(x.type.widen().with_signed(True), x)
+
+
+def _const(t: ScalarType, v: int) -> E.Const:
+    return E.Const(t, v)
+
+
+def saturate_bounds_clamp(x: E.Expr, to: ScalarType) -> E.Expr:
+    """Clamp ``x`` (in its own type) into the representable range of ``to``.
+
+    Only emits the clamps that can actually bind: the effective bounds are
+    the intersection of ``to``'s range with ``x``'s range, expressed in
+    ``x``'s type.  Returns the clamped expression, still of ``x``'s type.
+    """
+    t = x.type
+    lo = max(to.min_value, t.min_value)
+    hi = min(to.max_value, t.max_value)
+    out = x
+    if lo > t.min_value:
+        out = E.Max(out, _const(t, lo))
+    if hi < t.max_value:
+        out = E.Min(out, _const(t, hi))
+    return out
+
+
+def expand(node: E.Expr) -> Optional[E.Expr]:
+    """One definitional step for an FPIR node; None for non-FPIR nodes.
+
+    Requires concrete operand types (this is a semantics, not a pattern).
+    """
+    if not isinstance(node, F.FPIRInstr):
+        return None
+
+    if isinstance(node, F.WideningAdd):
+        return E.Add(_widen(node.a), _widen(node.b))
+
+    if isinstance(node, F.WideningSub):
+        # x and y are cast to the wider *signed* type (Table 1).
+        return E.Sub(_widen_signed(node.a), _widen_signed(node.b))
+
+    if isinstance(node, F.WideningMul):
+        # Operands may differ in signedness; both widen into the result
+        # type (signed unless both operands are unsigned).  The product of
+        # two N-bit values is exact in 2N bits for every sign combination.
+        rt = node.type
+        return E.Mul(E.Cast(rt, node.a), E.Cast(rt, node.b))
+
+    if isinstance(node, F.WideningShl):
+        return E.Shl(_widen(node.a), E.Cast(node.a.type.widen(), node.b))
+
+    if isinstance(node, F.WideningShr):
+        return E.Shr(_widen(node.a), E.Cast(node.a.type.widen(), node.b))
+
+    if isinstance(node, F.ExtendingAdd):
+        return E.Add(node.a, E.Cast(node.a.type, node.b))
+
+    if isinstance(node, F.ExtendingSub):
+        return E.Sub(node.a, E.Cast(node.a.type, node.b))
+
+    if isinstance(node, F.ExtendingMul):
+        return E.Mul(node.a, E.Cast(node.a.type, node.b))
+
+    if isinstance(node, F.Abs):
+        t = node.a.type
+        mag = E.Select(
+            E.GT(node.a, _const(t, 0)), node.a, E.Neg(node.a)
+        )
+        # Output is always unsigned: |i8 -128| == u8 128 via reinterpret.
+        return E.Reinterpret(node.type, mag) if t.signed else node.a
+
+    if isinstance(node, F.Absd):
+        t = node.a.type
+        diff = E.Select(
+            E.GT(node.a, node.b),
+            E.Sub(node.a, node.b),
+            E.Sub(node.b, node.a),
+        )
+        return E.Reinterpret(node.type, diff) if t.signed else diff
+
+    if isinstance(node, F.SaturatingCast):
+        clamped = saturate_bounds_clamp(node.a, node.to)
+        return E.Cast(node.to, clamped) if node.to != node.a.type else clamped
+
+    if isinstance(node, F.SaturatingNarrow):
+        return F.SaturatingCast(node.a.type.narrow(), node.a)
+
+    if isinstance(node, F.SaturatingAdd):
+        return F.SaturatingNarrow(F.WideningAdd(node.a, node.b))
+
+    if isinstance(node, F.SaturatingSub):
+        return F.SaturatingCast(node.a.type, F.WideningSub(node.a, node.b))
+
+    if isinstance(node, F.HalvingAdd):
+        t = node.a.type
+        wide = F.WideningAdd(node.a, node.b)
+        return E.Cast(t, E.Div(wide, _const(wide.type, 2)))
+
+    if isinstance(node, F.HalvingSub):
+        # narrow((widen(x) - widen(y)) / 2); widening preserves signedness,
+        # so the unsigned variant wraps exactly like ARM's uhsub.
+        t = node.a.type
+        diff = E.Sub(_widen(node.a), _widen(node.b))
+        return E.Cast(t, E.Div(diff, _const(diff.type, 2)))
+
+    if isinstance(node, F.RoundingHalvingAdd):
+        t = node.a.type
+        wide = F.WideningAdd(node.a, node.b)
+        bumped = E.Add(wide, _const(wide.type, 1))
+        return E.Cast(t, E.Div(bumped, _const(bumped.type, 2)))
+
+    if isinstance(node, F.RoundingShl):
+        # saturating_narrow(widening_add(x, select(y<0, 1 >> (y+1), 0)) << y)
+        # With the negative-shift convention, 1 >> (y+1) == 2**(-y-1): the
+        # round-to-nearest term for the implied right shift.
+        t, ts = node.a.type, node.b.type
+        one = _const(t, 1)
+        round_term = E.Select(
+            E.LT(node.b, _const(ts, 0)),
+            E.Cast(t, E.Shr(one, E.Add(node.b, _const(ts, 1)))),
+            _const(t, 0),
+        )
+        wide = F.WideningAdd(node.a, round_term)
+        shifted = E.Shl(wide, E.Cast(wide.type, node.b))
+        return F.SaturatingNarrow(shifted)
+
+    if isinstance(node, F.RoundingShr):
+        # saturating_narrow(widening_add(x, select(y>0, 1 << (y-1), 0)) >> y)
+        t, ts = node.a.type, node.b.type
+        one = _const(t, 1)
+        round_term = E.Select(
+            E.GT(node.b, _const(ts, 0)),
+            E.Cast(t, E.Shl(one, E.Sub(node.b, _const(ts, 1)))),
+            _const(t, 0),
+        )
+        wide = F.WideningAdd(node.a, round_term)
+        shifted = E.Shr(wide, E.Cast(wide.type, node.b))
+        return F.SaturatingNarrow(shifted)
+
+    if isinstance(node, F.MulShr):
+        prod = F.WideningMul(node.a, node.b)
+        shifted = E.Shr(prod, E.Cast(prod.type, node.shift))
+        return F.SaturatingNarrow(shifted)
+
+    if isinstance(node, F.RoundingMulShr):
+        prod = F.WideningMul(node.a, node.b)
+        wide_shift = E.Cast(
+            prod.type.with_signed(node.shift.type.signed), node.shift
+        )
+        return F.SaturatingNarrow(F.RoundingShr(prod, wide_shift))
+
+    if isinstance(node, F.SaturatingShl):
+        return F.SaturatingCast(
+            node.a.type, F.WideningShl(node.a, node.b)
+        )
+
+    raise NotImplementedError(f"no semantics for {type(node).__name__}")
+
+
+def expand_fully(expr: E.Expr, max_rounds: int = 16) -> E.Expr:
+    """Expand until no FPIR instructions remain (pure core IR)."""
+    for _ in range(max_rounds):
+        new = transform_bottom_up(expr, expand)
+        if new == expr:
+            if any(isinstance(n, F.FPIRInstr) for n in new.walk()):
+                raise RuntimeError("FPIR expansion did not converge")
+            return new
+        expr = new
+    # A definitional step strictly reduces the set of FPIR classes in a
+    # node's expansion chain, so this is unreachable for well-formed trees.
+    raise RuntimeError("FPIR expansion exceeded the round limit")

@@ -1,0 +1,9 @@
+"""Reference interpreter for core IR, FPIR and lowered target programs."""
+
+from .evaluator import (  # noqa: F401
+    EvalError,
+    Value,
+    evaluate,
+    evaluate_scalar,
+    register_handler,
+)

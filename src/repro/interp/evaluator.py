@@ -1,0 +1,268 @@
+"""Exact reference interpreter for core IR and FPIR.
+
+Values are vectors represented as plain Python ``list[int]``; every lane is
+kept in-range for its expression's element type (two's-complement wrapped).
+Using unbounded Python integers internally makes the interpreter correct at
+every bit-width, including the 128-bit intermediates produced by widening
+64-bit types — the case the paper notes LLVM must emulate expensively.
+
+Simple FPIR instructions are evaluated directly with exact integer math;
+the compositional ones (``rounding_shl``, ``mul_shr``, ...) are evaluated
+through their Table 1 expansion so the definitional semantics is always the
+ground truth.  Target ISA instructions register their own handlers via
+:func:`register_handler`, which lets tests execute *lowered* programs and
+compare them lane-for-lane against the source expression.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Sequence, Type
+
+from ..fpir import ops as F
+from ..fpir.semantics import expand
+from ..ir import expr as E
+from ..ir.types import ScalarType
+
+__all__ = [
+    "Value",
+    "evaluate",
+    "evaluate_scalar",
+    "register_handler",
+    "EvalError",
+]
+
+Value = List[int]
+
+#: Extension point: node class -> fn(node, evaluated_children) -> Value.
+_HANDLERS: Dict[Type[E.Expr], Callable[..., Value]] = {}
+
+
+class EvalError(RuntimeError):
+    """Raised when an expression cannot be evaluated."""
+
+
+def register_handler(
+    cls: Type[E.Expr], fn: Callable[[E.Expr, Sequence[Value]], Value]
+) -> None:
+    """Register an evaluator for a node class (used by target ISAs)."""
+    _HANDLERS[cls] = fn
+
+
+# ----------------------------------------------------------------------
+# Scalar primitives (Halide semantics)
+# ----------------------------------------------------------------------
+def _div(a: int, b: int) -> int:
+    """Division rounding toward negative infinity; x/0 == 0."""
+    return 0 if b == 0 else a // b
+
+
+def _mod(a: int, b: int) -> int:
+    """Euclidean remainder; x%0 == 0."""
+    return 0 if b == 0 else a % b
+
+
+def _shl(v: int, s: int, t: ScalarType) -> int:
+    """Shift left in type ``t``; negative amounts shift right (Halide)."""
+    if s < 0:
+        return _shr(v, -s, t)
+    if s >= t.bits:
+        return 0
+    return t.wrap(v << s)
+
+
+def _shr(v: int, s: int, t: ScalarType) -> int:
+    """Shift right (arithmetic for signed); negative amounts shift left."""
+    if s < 0:
+        return _shl(v, -s, t)
+    if s >= t.bits:
+        return -1 if (t.signed and v < 0) else 0
+    return t.wrap(v >> s)  # Python >> on negatives floors: arithmetic.
+
+
+def _binary_fn(node: E.Expr):
+    t = node.type
+    if isinstance(node, E.Add):
+        return lambda a, b: t.wrap(a + b)
+    if isinstance(node, E.Sub):
+        return lambda a, b: t.wrap(a - b)
+    if isinstance(node, E.Mul):
+        return lambda a, b: t.wrap(a * b)
+    if isinstance(node, E.Div):
+        return lambda a, b: t.wrap(_div(a, b))
+    if isinstance(node, E.Mod):
+        return lambda a, b: t.wrap(_mod(a, b))
+    if isinstance(node, E.Min):
+        return min
+    if isinstance(node, E.Max):
+        return max
+    if isinstance(node, E.Shl):
+        return lambda a, b: _shl(a, b, t)
+    if isinstance(node, E.Shr):
+        return lambda a, b: _shr(a, b, t)
+    if isinstance(node, E.BitAnd):
+        return lambda a, b: t.wrap(a & b)
+    if isinstance(node, E.BitOr):
+        return lambda a, b: t.wrap(a | b)
+    if isinstance(node, E.BitXor):
+        return lambda a, b: t.wrap(a ^ b)
+    if isinstance(node, E.LT):
+        return lambda a, b: int(a < b)
+    if isinstance(node, E.LE):
+        return lambda a, b: int(a <= b)
+    if isinstance(node, E.GT):
+        return lambda a, b: int(a > b)
+    if isinstance(node, E.GE):
+        return lambda a, b: int(a >= b)
+    if isinstance(node, E.EQ):
+        return lambda a, b: int(a == b)
+    if isinstance(node, E.NE):
+        return lambda a, b: int(a != b)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Direct FPIR evaluation (exact integer math)
+# ----------------------------------------------------------------------
+def _fpir_binary_fn(node: F.FPIRInstr):
+    t = node.type
+    if isinstance(node, F.WideningAdd):
+        return lambda a, b: t.wrap(a + b)
+    if isinstance(node, F.WideningSub):
+        return lambda a, b: a - b  # exact in the wider signed type
+    if isinstance(node, F.WideningMul):
+        return lambda a, b: a * b  # exact in 2N bits, any signedness mix
+    if isinstance(node, F.WideningShl):
+        return lambda a, b: _shl(a, b, t)
+    if isinstance(node, F.WideningShr):
+        return lambda a, b: _shr(a, b, t)
+    if isinstance(node, F.ExtendingAdd):
+        return lambda a, b: t.wrap(a + b)
+    if isinstance(node, F.ExtendingSub):
+        return lambda a, b: t.wrap(a - b)
+    if isinstance(node, F.ExtendingMul):
+        return lambda a, b: t.wrap(a * b)
+    if isinstance(node, F.Absd):
+        return lambda a, b: abs(a - b)
+    if isinstance(node, F.SaturatingAdd):
+        return lambda a, b: t.saturate(a + b)
+    if isinstance(node, F.SaturatingSub):
+        return lambda a, b: t.saturate(a - b)
+    if isinstance(node, F.HalvingAdd):
+        return lambda a, b: t.wrap((a + b) // 2)
+    if isinstance(node, F.HalvingSub):
+        return lambda a, b: t.wrap((a - b) // 2)
+    if isinstance(node, F.RoundingHalvingAdd):
+        return lambda a, b: t.wrap((a + b + 1) // 2)
+    return None
+
+
+def _eval_node(node: E.Expr, kids: Sequence[Value], lanes: int) -> Value:
+    """Evaluate one node given already-evaluated children."""
+    handler = _HANDLERS.get(type(node))
+    if handler is not None:
+        return handler(node, kids)
+
+    if isinstance(node, E.Const):
+        return [node.value] * lanes
+    if isinstance(node, E.Cast):
+        t = node.to
+        return [t.wrap(v) for v in kids[0]]
+    if isinstance(node, E.Reinterpret):
+        t, src = node.to, node.value.type
+        return [t.wrap(v & src.mask) for v in kids[0]]
+    if isinstance(node, E.Neg):
+        t = node.type
+        return [t.wrap(-v) for v in kids[0]]
+    if isinstance(node, E.Not):
+        return [1 - v for v in kids[0]]
+    if isinstance(node, E.Select):
+        return [
+            t if c else f for c, t, f in zip(kids[0], kids[1], kids[2])
+        ]
+    if isinstance(node, F.Abs):
+        return [abs(v) for v in kids[0]]
+
+    if isinstance(node, E.BinaryOp):
+        fn = _binary_fn(node)
+        if fn is not None:
+            return [fn(a, b) for a, b in zip(kids[0], kids[1])]
+
+    if isinstance(node, F.FPIRInstr):
+        fn = _fpir_binary_fn(node)
+        if fn is not None:
+            return [fn(a, b) for a, b in zip(kids[0], kids[1])]
+        if isinstance(node, F.SaturatingCast):
+            t = node.to
+            return [t.saturate(v) for v in kids[0]]
+        if isinstance(node, F.SaturatingNarrow):
+            t = node.type
+            return [t.saturate(v) for v in kids[0]]
+        # Compositional instructions: evaluate the Table 1 expansion with
+        # the child values bound to fresh variables.
+        return _eval_via_expansion(node, kids, lanes)
+
+    raise EvalError(f"cannot evaluate node: {type(node).__name__}")
+
+
+def _eval_via_expansion(
+    node: F.FPIRInstr, kids: Sequence[Value], lanes: int
+) -> Value:
+    names = [f"__opnd{i}" for i in range(len(kids))]
+    fresh = [
+        E.Var(child.type, name)
+        for child, name in zip(node.children, names)
+    ]
+    surrogate = node.with_children(fresh)
+    expansion = expand(surrogate)
+    if expansion is None:
+        raise EvalError(f"no semantics for {type(node).__name__}")
+    env = dict(zip(names, kids))
+    return evaluate(expansion, env, lanes=lanes)
+
+
+def evaluate(
+    expr: E.Expr, env: Mapping[str, Sequence[int]], lanes: int = None
+) -> Value:
+    """Evaluate ``expr`` over ``env`` (var name -> lanes of ints).
+
+    Input lanes must already be in-range for their variables' types; the
+    result is in-range for ``expr.type``.  Common subexpressions are
+    evaluated once.
+    """
+    if lanes is None:
+        lanes = _infer_lanes(expr, env)
+    memo: Dict[E.Expr, Value] = {}
+
+    def go(node: E.Expr) -> Value:
+        got = memo.get(node)
+        if got is not None:
+            return got
+        if isinstance(node, E.Var):
+            try:
+                raw = env[node.name]
+            except KeyError:
+                raise EvalError(f"unbound variable {node.name!r}") from None
+            if len(raw) != lanes:
+                raise EvalError(
+                    f"variable {node.name!r} has {len(raw)} lanes, "
+                    f"expected {lanes}"
+                )
+            val = [node.type.wrap(v) for v in raw]
+        else:
+            val = _eval_node(node, [go(c) for c in node.children], lanes)
+        memo[node] = val
+        return val
+
+    return go(expr)
+
+
+def evaluate_scalar(expr: E.Expr, env: Mapping[str, int]) -> int:
+    """Evaluate with one lane; convenience for tests and synthesis."""
+    return evaluate(expr, {k: [v] for k, v in env.items()}, lanes=1)[0]
+
+
+def _infer_lanes(expr: E.Expr, env: Mapping[str, Sequence[int]]) -> int:
+    for node in expr.walk():
+        if isinstance(node, E.Var) and node.name in env:
+            return len(env[node.name])
+    return 1

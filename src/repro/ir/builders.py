@@ -1,0 +1,160 @@
+"""User-facing construction helpers: the Halide-flavoured front-end DSL.
+
+These helpers make workload code read like the paper's listings::
+
+    from repro.ir import builders as h
+
+    a = h.var("a_u8", h.U8)
+    expr = h.u8_sat(h.u16(a) + h.u16(b) * 2)
+
+Casts take either expressions or plain ints; ints become broadcast constants
+of the requested type (Figure 2's ``x(c)``).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from . import expr as E
+from .types import (
+    BOOL,
+    I8,
+    I16,
+    I32,
+    I64,
+    U8,
+    U16,
+    U32,
+    U64,
+    ScalarType,
+)
+
+__all__ = [
+    "var",
+    "const",
+    "cast",
+    "u8",
+    "u16",
+    "u32",
+    "u64",
+    "i8",
+    "i16",
+    "i32",
+    "i64",
+    "minimum",
+    "maximum",
+    "select",
+    "clamp",
+    "reinterpret",
+    "BOOL",
+    "U8",
+    "U16",
+    "U32",
+    "U64",
+    "I8",
+    "I16",
+    "I32",
+    "I64",
+]
+
+Operand = Union[E.Expr, int]
+
+
+def var(name: str, type_: ScalarType) -> E.Var:
+    """An input vector of the given element type."""
+    return E.Var(type_, name)
+
+
+def const(type_: ScalarType, value: int) -> E.Const:
+    """A broadcast scalar constant."""
+    return E.Const(type_, value)
+
+
+def cast(type_: ScalarType, value: Operand) -> E.Expr:
+    """Wrapping numeric conversion; ints become constants directly."""
+    if isinstance(value, int):
+        return E.Const(type_, value)
+    if value.type == type_:
+        return value
+    return E.Cast(type_, value)
+
+
+def reinterpret(type_: ScalarType, value: E.Expr) -> E.Expr:
+    """Bit-preserving conversion between same-width types."""
+    if value.type == type_:
+        return value
+    return E.Reinterpret(type_, value)
+
+
+def u8(value: Operand) -> E.Expr:
+    """Wrapping cast to u8 (ints become broadcast constants)."""
+    return cast(U8, value)
+
+
+def u16(value: Operand) -> E.Expr:
+    """Wrapping cast to u16 (ints become broadcast constants)."""
+    return cast(U16, value)
+
+
+def u32(value: Operand) -> E.Expr:
+    """Wrapping cast to u32 (ints become broadcast constants)."""
+    return cast(U32, value)
+
+
+def u64(value: Operand) -> E.Expr:
+    """Wrapping cast to u64 (ints become broadcast constants)."""
+    return cast(U64, value)
+
+
+def i8(value: Operand) -> E.Expr:
+    """Wrapping cast to i8 (ints become broadcast constants)."""
+    return cast(I8, value)
+
+
+def i16(value: Operand) -> E.Expr:
+    """Wrapping cast to i16 (ints become broadcast constants)."""
+    return cast(I16, value)
+
+
+def i32(value: Operand) -> E.Expr:
+    """Wrapping cast to i32 (ints become broadcast constants)."""
+    return cast(I32, value)
+
+
+def i64(value: Operand) -> E.Expr:
+    """Wrapping cast to i64 (ints become broadcast constants)."""
+    return cast(I64, value)
+
+
+def _pair(a: Operand, b: Operand) -> tuple:
+    """Coerce an (expr, int) pair so both sides share a type."""
+    if isinstance(a, int) and isinstance(b, int):
+        raise TypeError("at least one operand must be an expression")
+    if isinstance(a, int):
+        a = E.Const(b.type, a)  # type: ignore[union-attr]
+    if isinstance(b, int):
+        b = E.Const(a.type, b)
+    return a, b
+
+
+def minimum(a: Operand, b: Operand) -> E.Expr:
+    """Lane-wise minimum; either operand may be a plain int."""
+    a, b = _pair(a, b)
+    return E.Min(a, b)
+
+
+def maximum(a: Operand, b: Operand) -> E.Expr:
+    """Lane-wise maximum; either operand may be a plain int."""
+    a, b = _pair(a, b)
+    return E.Max(a, b)
+
+
+def select(cond: E.Expr, t: Operand, f: Operand) -> E.Expr:
+    """Lane-wise conditional; branch operands may be plain ints."""
+    t, f = _pair(t, f)
+    return E.Select(cond, t, f)
+
+
+def clamp(x: E.Expr, lo: Operand, hi: Operand) -> E.Expr:
+    """``min(max(x, lo), hi)`` — the saturating-cast building block."""
+    return minimum(maximum(x, lo), hi)

@@ -1,0 +1,97 @@
+"""Pretty-printer for IR expressions.
+
+Produces the compact Halide-flavoured syntax the paper uses::
+
+    u8(min(absd(u16(a_u8) + u16(b_u8) * x(2), ...), x(255)))
+
+* casts print as ``u16(...)``;
+* constants print as ``x(c)`` broadcasts when nested, bare when simple;
+* FPIR and target instructions print as named calls.
+
+The printer dispatches on node class via a registry, so downstream packages
+(:mod:`repro.fpir`, :mod:`repro.targets`) register their own node renderers
+instead of this module importing them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Type
+
+from . import expr as E
+
+__all__ = ["to_string", "register_printer"]
+
+_PRINTERS: Dict[Type[E.Expr], Callable[[E.Expr], str]] = {}
+
+_INFIX = {
+    E.Add: "+",
+    E.Sub: "-",
+    E.Mul: "*",
+    E.Div: "/",
+    E.Mod: "%",
+    E.Shl: "<<",
+    E.Shr: ">>",
+    E.BitAnd: "&",
+    E.BitOr: "|",
+    E.BitXor: "^",
+    E.LT: "<",
+    E.LE: "<=",
+    E.GT: ">",
+    E.GE: ">=",
+    E.EQ: "==",
+    E.NE: "!=",
+}
+
+
+def register_printer(
+    cls: Type[E.Expr], fn: Callable[[E.Expr], str]
+) -> None:
+    """Register a custom renderer for an Expr subclass."""
+    _PRINTERS[cls] = fn
+
+
+def to_string(e: E.Expr) -> str:
+    """Render an expression tree as compact Halide-style text."""
+    fn = _PRINTERS.get(type(e))
+    if fn is not None:
+        return fn(e)
+    if isinstance(e, E.Const):
+        return str(e.value)
+    if isinstance(e, E.Var):
+        return e.name
+    if isinstance(e, E.Cast):
+        return f"{_type_code(e.to)}({to_string(e.value)})"
+    if isinstance(e, E.Reinterpret):
+        return f"reinterpret<{_type_code(e.to)}>({to_string(e.value)})"
+    if isinstance(e, E.Neg):
+        return f"-{_paren(e.value)}"
+    if isinstance(e, E.Not):
+        return f"!{_paren(e.value)}"
+    if isinstance(e, E.Min):
+        return f"min({to_string(e.a)}, {to_string(e.b)})"
+    if isinstance(e, E.Max):
+        return f"max({to_string(e.a)}, {to_string(e.b)})"
+    op = _INFIX.get(type(e))
+    if op is not None:
+        return f"{_paren(e.a)} {op} {_paren(e.b)}"  # type: ignore[attr-defined]
+    if isinstance(e, E.Select):
+        return (
+            f"select({to_string(e.cond)}, {to_string(e.t)}, {to_string(e.f)})"
+        )
+    # Generic fallback: call syntax over the class name.
+    args = ", ".join(to_string(c) for c in e.children)
+    return f"{type(e).__name__}({args})"
+
+
+def _type_code(t: object) -> str:
+    """Render a type or (in patterns) a symbolic type placeholder."""
+    code = getattr(t, "code", None)
+    return code if code is not None else repr(t)
+
+
+def _paren(e: E.Expr) -> str:
+    """Parenthesize infix sub-expressions to keep output unambiguous."""
+    s = to_string(e)
+    if type(e) in _INFIX:
+        return f"({s})"
+    return s

@@ -1,0 +1,84 @@
+"""Tree traversal and rewriting utilities shared by every pass.
+
+These are deliberately small, generic combinators; the term-rewriting engine
+(:mod:`repro.trs`) composes them into its greedy bottom-up fixed-point loop.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Optional
+
+from .expr import Expr, Var
+
+__all__ = [
+    "transform_bottom_up",
+    "transform_top_down",
+    "substitute_vars",
+    "count_nodes",
+    "subexpressions",
+    "contains",
+]
+
+
+def transform_bottom_up(
+    expr: Expr, fn: Callable[[Expr], Optional[Expr]]
+) -> Expr:
+    """Rebuild ``expr`` post-order, applying ``fn`` at every node.
+
+    ``fn`` receives a node whose children have already been transformed and
+    returns a replacement, or ``None`` to keep the node unchanged.
+    """
+    new_children = [transform_bottom_up(c, fn) for c in expr.children]
+    if any(n is not o for n, o in zip(new_children, expr.children)):
+        expr = expr.with_children(new_children)
+    replaced = fn(expr)
+    return expr if replaced is None else replaced
+
+
+def transform_top_down(
+    expr: Expr, fn: Callable[[Expr], Optional[Expr]]
+) -> Expr:
+    """Apply ``fn`` at the root first, then recurse into the result."""
+    replaced = fn(expr)
+    if replaced is not None:
+        expr = replaced
+    new_children = [transform_top_down(c, fn) for c in expr.children]
+    if any(n is not o for n, o in zip(new_children, expr.children)):
+        expr = expr.with_children(new_children)
+    return expr
+
+
+def substitute_vars(expr: Expr, env: Dict[str, Expr]) -> Expr:
+    """Replace each :class:`Var` whose name is in ``env``."""
+
+    def repl(node: Expr) -> Optional[Expr]:
+        if isinstance(node, Var):
+            return env.get(node.name)
+        return None
+
+    return transform_bottom_up(expr, repl)
+
+
+def count_nodes(expr: Expr) -> int:
+    """Number of IR nodes (alias of :attr:`Expr.size`, kept for clarity)."""
+    return expr.size
+
+
+def subexpressions(expr: Expr, max_size: Optional[int] = None) -> Iterator[Expr]:
+    """Yield every distinct subtree, optionally capped by node count.
+
+    This is the enumeration primitive behind §4.1's "all sub-expressions of
+    size up to 10 IR nodes".
+    """
+    seen = set()
+    for node in expr.walk():
+        if node in seen:
+            continue
+        seen.add(node)
+        if max_size is None or node.size <= max_size:
+            yield node
+
+
+def contains(expr: Expr, needle: Expr) -> bool:
+    """True if ``needle`` occurs as a subtree of ``expr``."""
+    return any(node == needle for node in expr.walk())

@@ -1,0 +1,176 @@
+"""Scalar element types for the vector IR.
+
+Expressions in this IR are *vectors of scalars*; following the paper
+(Figure 2: "vector lengths are abstracted away"), an expression carries only
+its element type.  The vector length is picked later, by the target
+"schedule", when an expression is lowered and simulated.
+
+A :class:`ScalarType` is an integer type described by a bit-width and a
+signedness, e.g. ``u8`` or ``i16``.  The special one-bit unsigned type
+:data:`BOOL` is the result type of vector comparisons (Halide's ``uint1``).
+
+Types support the two derived forms that pervade fixed-point code:
+
+* :meth:`ScalarType.widen` — double the bit-width, preserve signedness
+  (``u8 -> u16``); this is the ``widen(x)`` of Table 1.
+* :meth:`ScalarType.narrow` — halve the bit-width, preserve signedness
+  (``i32 -> i16``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+__all__ = [
+    "ScalarType",
+    "BOOL",
+    "U8",
+    "U16",
+    "U32",
+    "U64",
+    "I8",
+    "I16",
+    "I32",
+    "I64",
+    "ALL_TYPES",
+    "ARITH_TYPES",
+    "STANDARD_BITS",
+]
+
+#: Bit-widths that real fixed-point ISAs expose directly.
+STANDARD_BITS = (8, 16, 32, 64)
+
+#: Bit-widths the IR supports.  128 only appears as the widened form of a
+#: 64-bit type (e.g. inside ``widening_mul(x_u64, y_u64)``); no hardware in
+#: the paper supports 128-bit lanes, so such expressions must be removed by
+#: rewrites (or emulated) before lowering.
+_VALID_BITS = (1, 8, 16, 32, 64, 128)
+
+
+@dataclass(frozen=True)
+class ScalarType:
+    """An integer element type: ``bits`` wide, signed or unsigned."""
+
+    bits: int
+    signed: bool
+
+    def __post_init__(self) -> None:
+        if self.bits not in _VALID_BITS:
+            raise ValueError(f"unsupported bit-width: {self.bits}")
+        if self.bits == 1 and self.signed:
+            raise ValueError("the 1-bit type (bool) must be unsigned")
+
+    # ------------------------------------------------------------------
+    # Value range
+    # ------------------------------------------------------------------
+    @property
+    def min_value(self) -> int:
+        """Smallest representable value."""
+        return -(1 << (self.bits - 1)) if self.signed else 0
+
+    @property
+    def max_value(self) -> int:
+        """Largest representable value."""
+        if self.signed:
+            return (1 << (self.bits - 1)) - 1
+        return (1 << self.bits) - 1
+
+    @property
+    def mask(self) -> int:
+        """All-ones bit mask for this width."""
+        return (1 << self.bits) - 1
+
+    def contains(self, value: int) -> bool:
+        """True if ``value`` is representable without wrapping."""
+        return self.min_value <= value <= self.max_value
+
+    def wrap(self, value: int) -> int:
+        """Reduce an arbitrary integer into this type, two's-complement."""
+        value &= self.mask
+        if self.signed and value > self.max_value:
+            value -= 1 << self.bits
+        return value
+
+    def saturate(self, value: int) -> int:
+        """Clamp an arbitrary integer into this type's range."""
+        if value < self.min_value:
+            return self.min_value
+        if value > self.max_value:
+            return self.max_value
+        return value
+
+    # ------------------------------------------------------------------
+    # Derived types
+    # ------------------------------------------------------------------
+    def widen(self) -> "ScalarType":
+        """Double the bit-width, preserving signedness (Table 1 widen)."""
+        if self.bits >= 128:
+            raise ValueError(f"cannot widen {self}")
+        if self.bits == 1:
+            raise ValueError("cannot widen bool")
+        return ScalarType(self.bits * 2, self.signed)
+
+    def narrow(self) -> "ScalarType":
+        """Halve the bit-width, preserving signedness."""
+        if self.bits <= 8:
+            raise ValueError(f"cannot narrow {self}")
+        return ScalarType(self.bits // 2, self.signed)
+
+    def with_signed(self, signed: bool) -> "ScalarType":
+        """Same width, given signedness (``reinterpret`` partner type)."""
+        return ScalarType(self.bits, signed)
+
+    def can_widen(self) -> bool:
+        return 1 < self.bits < 128
+
+    def can_narrow(self) -> bool:
+        return self.bits > 8
+
+    # ------------------------------------------------------------------
+    @property
+    def is_bool(self) -> bool:
+        return self.bits == 1
+
+    @property
+    def code(self) -> str:
+        """Short Halide-style name, e.g. ``u8`` / ``i16`` / ``bool``."""
+        if self.is_bool:
+            return "bool"
+        return ("i" if self.signed else "u") + str(self.bits)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.code
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return self.code
+
+
+BOOL = ScalarType(1, False)
+U8 = ScalarType(8, False)
+U16 = ScalarType(16, False)
+U32 = ScalarType(32, False)
+U64 = ScalarType(64, False)
+I8 = ScalarType(8, True)
+I16 = ScalarType(16, True)
+I32 = ScalarType(32, True)
+I64 = ScalarType(64, True)
+
+#: The standard arithmetic element types (no bool, no 128-bit).
+ARITH_TYPES = (U8, I8, U16, I16, U32, I32, U64, I64)
+
+#: Every standard type including bool.
+ALL_TYPES = (BOOL,) + ARITH_TYPES
+
+_BY_CODE = {t.code: t for t in ALL_TYPES}
+_BY_CODE["u128"] = ScalarType(128, False)
+_BY_CODE["i128"] = ScalarType(128, True)
+
+
+@lru_cache(maxsize=None)
+def type_from_code(code: str) -> ScalarType:
+    """Look up a type by its short name (``"u8"``, ``"i32"``, ``"bool"``)."""
+    try:
+        return _BY_CODE[code]
+    except KeyError:
+        raise ValueError(f"unknown type code: {code!r}") from None

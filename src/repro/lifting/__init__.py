@@ -1,0 +1,6 @@
+"""The target-agnostic lifting phase: integer vector IR -> FPIR."""
+
+from .canonicalize import canonicalize, fold_constants  # noqa: F401
+from .lifter import Lifter, lift  # noqa: F401
+from .rules import HAND_RULES  # noqa: F401
+from .synthesized import SYNTHESIZED_RULES  # noqa: F401

@@ -1,0 +1,135 @@
+"""Canonicalization: the light normalization applied before lifting.
+
+Halide runs simplification before PITCHFORK sees an expression; this pass
+reproduces the parts that matter for lifting:
+
+* constant folding (pure ops whose operands are all constants);
+* constants commute to the right of ``+`` and ``*``;
+* arithmetic identities (``x*1``, ``x+0``, ``x<<0``, ``min(x,x)``, ...);
+* ``0 - x`` becomes ``Neg`` (the form the abs-lift rules expect).
+
+Crucially, it does **not** strength-reduce ``x * 2`` into ``x << 1`` — that
+is precisely the LLVM mid-end behaviour (§2.2, Figure 3a) that destroys
+multiply-accumulate patterns; the LLVM baseline does it, PITCHFORK doesn't.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..interp.evaluator import _eval_node  # exact scalar semantics
+from ..ir import expr as E
+from ..ir.traversal import transform_bottom_up
+
+__all__ = ["canonicalize", "fold_constants"]
+
+_FOLDABLE = (
+    E.Add, E.Sub, E.Mul, E.Div, E.Mod, E.Min, E.Max, E.Shl, E.Shr,
+    E.BitAnd, E.BitOr, E.BitXor, E.Neg, E.Cast, E.Reinterpret,
+)
+
+
+def _fold(node: E.Expr) -> Optional[E.Expr]:
+    kids = node.children
+    if not kids or not isinstance(node, _FOLDABLE):
+        return None
+    if not all(isinstance(c, E.Const) for c in kids):
+        return None
+    value = _eval_node(node, [[c.value] for c in kids], lanes=1)[0]
+    return E.Const(node.type, value)
+
+
+def fold_constants(expr: E.Expr) -> E.Expr:
+    """Fold constant subtrees bottom-up."""
+    return transform_bottom_up(expr, _fold)
+
+
+def _is_const(e: E.Expr, v: int) -> bool:
+    return isinstance(e, E.Const) and e.value == v
+
+
+def _simplify(node: E.Expr) -> Optional[E.Expr]:
+    folded = _fold(node)
+    if folded is not None:
+        return folded
+
+    if isinstance(node, (E.Add, E.Mul)):
+        # Commute constants to the right so rules only match one order.
+        if isinstance(node.a, E.Const) and not isinstance(node.b, E.Const):
+            return type(node)(node.b, node.a)
+
+    if isinstance(node, E.Add):
+        if _is_const(node.b, 0):
+            return node.a
+    if isinstance(node, E.Sub):
+        if _is_const(node.b, 0):
+            return node.a
+        if _is_const(node.a, 0):
+            return E.Neg(node.b)
+    if isinstance(node, E.Mul):
+        if _is_const(node.b, 1):
+            return node.a
+        if _is_const(node.b, 0):
+            return E.Const(node.type, 0)
+    if isinstance(node, E.Div):
+        if _is_const(node.b, 1):
+            return node.a
+        # Floor division by a positive power of two is exactly an
+        # arithmetic right shift (both round toward negative infinity).
+        if isinstance(node.b, E.Const):
+            v = node.b.value
+            if v > 1 and (v & (v - 1)) == 0:
+                return E.Shr(
+                    node.a, E.Const(node.b.type, v.bit_length() - 1)
+                )
+    if isinstance(node, (E.Shl, E.Shr)):
+        if _is_const(node.b, 0):
+            return node.a
+    if isinstance(node, (E.Min, E.Max)):
+        if node.a == node.b:
+            return node.a
+    if isinstance(node, E.Select):
+        # select(a < b, a, b) == min(a, b) etc. — standard simplifier
+        # canonicalization (Halide and LLVM instcombine both do this).
+        # Operand order follows the select branches.
+        cond = node.cond
+        if isinstance(cond, (E.LT, E.GT)):
+            t_is_smaller = (
+                (node.t, node.f) == (cond.a, cond.b)
+                if isinstance(cond, E.LT)
+                else (node.t, node.f) == (cond.b, cond.a)
+            )
+            f_is_smaller = (
+                (node.t, node.f) == (cond.b, cond.a)
+                if isinstance(cond, E.LT)
+                else (node.t, node.f) == (cond.a, cond.b)
+            )
+            if t_is_smaller:
+                return E.Min(node.t, node.f)
+            if f_is_smaller:
+                return E.Max(node.t, node.f)
+    if isinstance(node, E.Cast):
+        # Collapse chains of value-preserving widening casts: same-sign
+        # widening preserves every value, so u32(u16(x_u8)) == u32(x_u8).
+        inner = node.value
+        if (
+            isinstance(inner, E.Cast)
+            and inner.to.bits > inner.value.type.bits
+            and inner.to.signed == inner.value.type.signed
+            and node.to.bits >= inner.to.bits
+            and node.to.signed == inner.to.signed
+        ):
+            return E.Cast(node.to, inner.value)
+        if node.to == inner.type:
+            return inner
+    return None
+
+
+def canonicalize(expr: E.Expr, max_passes: int = 8) -> E.Expr:
+    """Normalize to a fixed point (the identities above only shrink)."""
+    for _ in range(max_passes):
+        new = transform_bottom_up(expr, _simplify)
+        if new == expr:
+            return new
+        expr = new
+    return expr

@@ -1,0 +1,68 @@
+"""The lifting pass: primitive integer vector IR -> FPIR (§3.2).
+
+Combines canonicalization, the hand-written rule set, and (optionally) the
+offline-synthesized rules into one greedy bottom-up cost-decreasing TRS.
+
+The ``exclude_sources`` hook implements §5's leave-one-out cross-validation:
+compiling benchmark B excludes every synthesized rule whose provenance tag
+is ``synth:B``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..analysis import BoundsAnalyzer, BoundsContext
+from ..ir.expr import Expr
+from ..trs.rewriter import RewriteEngine, RewriteResult
+from ..trs.rule import Rule
+from .canonicalize import canonicalize
+from .rules import HAND_RULES
+
+__all__ = ["Lifter", "lift"]
+
+
+class Lifter:
+    """Configurable lifting TRS.
+
+    Parameters
+    ----------
+    use_synthesized:
+        include the offline-learned rules (§4); disable for the Figure 7
+        ablation ("hand-written rules only").
+    exclude_sources:
+        provenance tags to drop, e.g. ``{"synth:sobel3x3"}`` for
+        leave-one-out evaluation of the sobel3x3 benchmark.
+    """
+
+    def __init__(
+        self,
+        use_synthesized: bool = True,
+        exclude_sources: Iterable[str] = (),
+        extra_rules: Iterable[Rule] = (),
+    ):
+        # Filters apply to the checked-in rule sets; explicitly-passed
+        # extra_rules (e.g. loaded from a rule file, or freshly learned)
+        # are the caller's responsibility.
+        builtin: List[Rule] = list(HAND_RULES)
+        if use_synthesized:
+            from .synthesized import SYNTHESIZED_RULES
+
+            builtin += SYNTHESIZED_RULES
+        excluded = set(exclude_sources)
+        if excluded:
+            builtin = [r for r in builtin if not r.excluded_by(excluded)]
+        rules = builtin + list(extra_rules)
+        self.engine = RewriteEngine(rules, require_cost_decrease=True)
+
+    def lift(
+        self, expr: Expr, analyzer: Optional[BoundsAnalyzer] = None
+    ) -> RewriteResult:
+        """Canonicalize then rewrite to the FPIR fixed point."""
+        ctx = BoundsContext(analyzer if analyzer is not None else BoundsAnalyzer())
+        return self.engine.rewrite(canonicalize(expr), ctx)
+
+
+def lift(expr: Expr, **kwargs) -> Expr:
+    """One-shot convenience: lift with the default configuration."""
+    return Lifter(**kwargs).lift(expr).expr

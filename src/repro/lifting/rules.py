@@ -1,0 +1,539 @@
+"""The hand-written lifting TRS: primitive integer IR -> FPIR (§3.2).
+
+"The lifting TRS was implemented using approximately 50 hand-written
+rules" — this module is that rule set.  Rules are polymorphic over a type
+variable ``T`` (with signedness/width constraints where needed), written in
+the paper's ``before -> after [predicate]`` style (Figure 4), and ordered
+so that within one root class the cheapest output is preferred.
+
+Every rule here is verified by :mod:`repro.verify` (see
+``tests/lifting/test_rules_verified.py``) — the reproduction of §2.4's
+"Verifying Hand-Written Rules".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..fpir import ops as F
+from ..ir import expr as E
+from ..trs.matcher import Match
+from ..trs.pattern import ConstWild, PConst, TNarrow, TVar, TWiden, TWithSign, Wild
+from ..trs.rule import Rule, RuleContext
+
+__all__ = ["HAND_RULES", "build_hand_rules", "is_pow2", "ilog2"]
+
+
+def is_pow2(v: int) -> bool:
+    """True if v is a positive power of two."""
+    return v > 0 and (v & (v - 1)) == 0
+
+
+def ilog2(v: int) -> int:
+    """Floor log2 of a positive integer."""
+    return v.bit_length() - 1
+
+
+# ----------------------------------------------------------------------
+# Pattern-building helpers.  Each rule gets fresh pattern objects; the
+# type variable is always called "T" (bindings are per-match).
+# ----------------------------------------------------------------------
+def _T(signed: Optional[bool] = None, max_bits: int = 32) -> TVar:
+    """The rule's main type variable; ``max_bits=32`` keeps widened
+    intermediates within what hardware supports."""
+    return TVar("T", signed=signed, max_bits=max_bits)
+
+
+def _widen_cast(t: TVar, name: str) -> E.Expr:
+    return E.Cast(TWiden(t), Wild(name, t))
+
+
+def build_hand_rules() -> List[Rule]:
+    """Construct the ~50 hand-written lifting rules of §3.2."""
+    rules: List[Rule] = []
+    add = rules.append
+
+    # ==================================================================
+    # A. Widening arithmetic
+    # ==================================================================
+    # widen(x) + widen(y) -> widening_add(x, y)
+    T = _T()
+    add(Rule(
+        "lift-widening-add",
+        E.Add(_widen_cast(T, "x"), _widen_cast(T, "y")),
+        F.WideningAdd(Wild("x", T), Wild("y", T)),
+    ))
+
+    # widen_s(x) - widen_s(y) -> widening_sub(x, y)   (signed result type)
+    # Split by operand signedness: TWithSign needs a sign-pinned inner
+    # pattern (i16 could be the signed widening of either u8 or i8).
+    for signed in (True, False):
+        T = _T(signed=signed)
+        add(Rule(
+            f"lift-widening-sub-{'s' if signed else 'su'}",
+            E.Sub(
+                E.Cast(TWithSign(TWiden(T), True), Wild("x", T)),
+                E.Cast(TWithSign(TWiden(T), True), Wild("y", T)),
+            ),
+            F.WideningSub(Wild("x", T), Wild("y", T)),
+        ))
+
+    # u-widen(x) - u-widen(y) -> reinterpret(widening_sub(x, y))
+    T = _T(signed=False)
+    add(Rule(
+        "lift-widening-sub-unsigned",
+        E.Sub(_widen_cast(T, "x"), _widen_cast(T, "y")),
+        E.Reinterpret(TWiden(T), F.WideningSub(Wild("x", T), Wild("y", T))),
+    ))
+
+    # widen(x) * widen(y) -> widening_mul(x, y); the result type of the
+    # product determines the cast target, so sign-mixes need their own
+    # patterns (the cast target equals widen-with-result-sign).
+    for sx, sy in [(False, False), (True, True), (False, True), (True, False)]:
+        signed_out = sx or sy
+        Tx = TVar("Tx", signed=sx, max_bits=32)
+        Ty = TVar("Ty", signed=sy, max_bits=32)
+        out_x = TWithSign(TWiden(Tx), signed_out)
+        out_y = TWithSign(TWiden(Ty), signed_out)
+        add(Rule(
+            f"lift-widening-mul-{'i' if sx else 'u'}{'i' if sy else 'u'}",
+            E.Mul(
+                E.Cast(out_x, Wild("x", Tx)),
+                E.Cast(out_y, Wild("y", Ty)),
+            ),
+            F.WideningMul(Wild("x", Tx), Wild("y", Ty)),
+            predicate=_same_width("Tx", "Ty"),
+        ))
+
+    # widen(x) * c0 -> widening_shl(x, log2(c0))  [is_pow2(c0)]  (Fig. 4)
+    T = _T()
+    add(Rule(
+        "lift-widening-mul-pow2",
+        E.Mul(_widen_cast(T, "x"), ConstWild("c0", TWiden(T))),
+        F.WideningShl(
+            Wild("x", T),
+            PConst(TWithSign(T, False), lambda c: ilog2(c["c0"])),
+        ),
+        predicate=lambda m, ctx: is_pow2(m.consts["c0"]) and m.consts["c0"] > 1,
+    ))
+
+    # widen(x) << c0 -> widening_shl(x, c0)   [0 <= c0 <= T.max]
+    T = _T()
+    add(Rule(
+        "lift-widening-shl",
+        E.Shl(_widen_cast(T, "x"), ConstWild("c0", TWiden(T))),
+        F.WideningShl(
+            Wild("x", T), PConst(TWithSign(T, False), lambda c: c["c0"])
+        ),
+        predicate=_const_fits_narrow("c0"),
+    ))
+
+    # widen(x) >> c0 -> widening_shr(x, c0)
+    T = _T()
+    add(Rule(
+        "lift-widening-shr",
+        E.Shr(_widen_cast(T, "x"), ConstWild("c0", TWiden(T))),
+        F.WideningShr(
+            Wild("x", T), PConst(TWithSign(T, False), lambda c: c["c0"])
+        ),
+        predicate=_const_fits_narrow("c0"),
+    ))
+
+    # widen(x) + c0 -> widening_add(x, c0)   [c0 fits T]
+    T = _T()
+    add(Rule(
+        "lift-widening-add-const",
+        E.Add(_widen_cast(T, "x"), ConstWild("c0", TWiden(T))),
+        F.WideningAdd(Wild("x", T), PConst(TVar("T"), lambda c: c["c0"])),
+        predicate=_const_fits_narrow("c0"),
+    ))
+
+    # ==================================================================
+    # B. Extending (widening accumulate)
+    # ==================================================================
+    # widen(x) + y_wide -> extending_add(y, x)        (Fig. 4)
+    # y_wide + widen(x) -> extending_add(y, x)
+    # (guarded against y being a bare constant: those are handled by the
+    # widening-with-constant rules or left for the rounding-shift lifts)
+    for swapped in (False, True):
+        T = _T()
+        cast, wide = _widen_cast(T, "x"), Wild("y", TWiden(T))
+        lhs = E.Add(wide, cast) if swapped else E.Add(cast, wide)
+        add(Rule(
+            "lift-extending-add" + ("-swapped" if swapped else ""),
+            lhs,
+            F.ExtendingAdd(Wild("y", TWiden(T)), Wild("x", T)),
+            predicate=_not_const("y"),
+        ))
+
+    # y_wide - widen(x) -> extending_sub(y, x)
+    T = _T()
+    add(Rule(
+        "lift-extending-sub",
+        E.Sub(Wild("y", TWiden(T)), _widen_cast(T, "x")),
+        F.ExtendingSub(Wild("y", TWiden(T)), Wild("x", T)),
+        predicate=_not_const("y"),
+    ))
+
+    # y_wide * widen(x) -> extending_mul(y, x) (either operand order)
+    for swapped in (False, True):
+        T = _T()
+        cast, wide = _widen_cast(T, "x"), Wild("y", TWiden(T))
+        lhs = E.Mul(wide, cast) if swapped else E.Mul(cast, wide)
+        add(Rule(
+            "lift-extending-mul" + ("-swapped" if swapped else ""),
+            lhs,
+            F.ExtendingMul(Wild("y", TWiden(T)), Wild("x", T)),
+            predicate=_not_const("y"),
+        ))
+
+    # ==================================================================
+    # C. Reassociation (normalizes accumulation chains; Fig. 4)
+    # ==================================================================
+    # extending_add(extending_add(x, y), z) -> widening_add(y, z) + x
+    T = _T()
+    add(Rule(
+        "lift-reassoc-extending",
+        F.ExtendingAdd(
+            F.ExtendingAdd(Wild("x", TWiden(T)), Wild("y", T)),
+            Wild("z", T),
+        ),
+        E.Add(
+            F.WideningAdd(Wild("y", T), Wild("z", T)),
+            Wild("x", TWiden(T)),
+        ),
+    ))
+
+    # ==================================================================
+    # D. Saturating casts (clamp recognition)
+    # ==================================================================
+    # cast<N>(min(max(x, lo), hi)) -> saturating_cast<N>(x)
+    #   [lo == max(N.min, T.min), hi == min(N.max, T.max)]
+    N = TVar("N")
+    T = TVar("T", max_bits=64)
+    for name, clamp in [
+        (
+            "lift-sat-cast-maxmin",
+            E.Min(
+                E.Max(Wild("x", T), ConstWild("lo", T)), ConstWild("hi", T)
+            ),
+        ),
+        (
+            "lift-sat-cast-minmax",
+            E.Max(
+                E.Min(Wild("x", T), ConstWild("hi", T)), ConstWild("lo", T)
+            ),
+        ),
+    ]:
+        add(Rule(
+            name,
+            E.Cast(N, clamp),
+            F.SaturatingCast(TVar("N"), Wild("x", T)),
+            predicate=_clamp_bounds(lo="lo", hi="hi"),
+        ))
+
+    # cast<N>(min(x, hi)) -> saturating_cast<N>(x)
+    #   [hi == min(N.max, T.max) and T.min >= N.min]      (Fig. 4)
+    add(Rule(
+        "lift-sat-cast-min",
+        E.Cast(TVar("N"), E.Min(Wild("x", TVar("T", max_bits=64)),
+                                ConstWild("hi", TVar("T", max_bits=64)))),
+        F.SaturatingCast(TVar("N"), Wild("x", TVar("T", max_bits=64))),
+        predicate=_clamp_bounds(hi="hi"),
+    ))
+
+    # cast<N>(max(x, lo)) -> saturating_cast<N>(x)
+    #   [lo == max(N.min, T.min) and T.max <= N.max]
+    add(Rule(
+        "lift-sat-cast-max",
+        E.Cast(TVar("N"), E.Max(Wild("x", TVar("T", max_bits=64)),
+                                ConstWild("lo", TVar("T", max_bits=64)))),
+        F.SaturatingCast(TVar("N"), Wild("x", TVar("T", max_bits=64))),
+        predicate=_clamp_bounds(lo="lo"),
+    ))
+
+    # saturating_cast<narrow(T)>(x) -> saturating_narrow(x) (normal form)
+    T = TVar("T", max_bits=64, min_bits=16)
+    add(Rule(
+        "lift-sat-narrow-normalize",
+        F.SaturatingCast(TNarrow(T), Wild("x", T)),
+        F.SaturatingNarrow(Wild("x", T)),
+    ))
+
+    # ==================================================================
+    # E. Saturating arithmetic fusion
+    # ==================================================================
+    # saturating_narrow(widening_add(x, y)) -> saturating_add(x, y)
+    T = _T()
+    add(Rule(
+        "lift-saturating-add",
+        F.SaturatingNarrow(F.WideningAdd(Wild("x", T), Wild("y", T))),
+        F.SaturatingAdd(Wild("x", T), Wild("y", T)),
+    ))
+
+    # saturating_cast<T>(widening_sub(x_T, y_T)) -> saturating_sub(x, y)
+    T = _T()
+    add(Rule(
+        "lift-saturating-sub",
+        F.SaturatingCast(TVar("T"), F.WideningSub(Wild("x", T), Wild("y", T))),
+        F.SaturatingSub(Wild("x", T), Wild("y", T)),
+    ))
+    # ... and the signed case arrives as saturating_narrow instead,
+    # because widening_sub of signed operands has type widen(T):
+    T = _T(signed=True)
+    add(Rule(
+        "lift-saturating-sub-signed",
+        F.SaturatingNarrow(F.WideningSub(Wild("x", T), Wild("y", T))),
+        F.SaturatingSub(Wild("x", T), Wild("y", T)),
+    ))
+
+    # saturating_cast<T>(widening_shl(x_T, y)) -> saturating_shl(x, y)
+    # (§8.4's FPIR extension; both narrow-normalized and cast forms.)
+    T = _T()
+    add(Rule(
+        "lift-saturating-shl",
+        F.SaturatingNarrow(F.WideningShl(Wild("x", T), Wild("y", T))),
+        F.SaturatingShl(Wild("x", T), Wild("y", T)),
+    ))
+
+    # ==================================================================
+    # F. Halving (averaging) instructions
+    # ==================================================================
+    # T(widening_add(x, y) / 2) -> halving_add(x, y)
+    # T(widening_add(x, y) >> 1) -> halving_add(x, y)
+    for name, inner in _div2_forms(F.WideningAdd):
+        add(Rule(f"lift-halving-add-{name}", inner,
+                 F.HalvingAdd(Wild("x", TVar("T")), Wild("y", TVar("T")))))
+
+    # T(widening_sub(x, y) / 2) -> halving_sub(x, y)
+    for name, inner in _div2_forms(F.WideningSub):
+        add(Rule(f"lift-halving-sub-{name}", inner,
+                 F.HalvingSub(Wild("x", TVar("T")), Wild("y", TVar("T")))))
+
+    # T((widening_add(x, y) + 1) / 2) -> rounding_halving_add(x, y)
+    for name, inner in _div2_forms(F.WideningAdd, plus_one=True):
+        add(Rule(
+            f"lift-rounding-halving-add-{name}",
+            inner,
+            F.RoundingHalvingAdd(Wild("x", TVar("T")), Wild("y", TVar("T"))),
+        ))
+
+    # T(rounding_shr(widening_add(x, y), 1)) -> rounding_halving_add(x, y)
+    # The generic rounding-shift rule (group G) normalizes the "+1 >> 1"
+    # spelling before the Cast is reached; this re-fuses it.  Safe because
+    # (x + y + 1) >> 1 always fits the narrow type exactly.
+    T = _T()
+    add(Rule(
+        "lift-rounding-halving-add-via-rshr",
+        E.Cast(
+            TVar("T"),
+            F.RoundingShr(
+                F.WideningAdd(Wild("x", T), Wild("y", T)),
+                PConst(TWiden(T), 1),
+            ),
+        ),
+        F.RoundingHalvingAdd(Wild("x", TVar("T")), Wild("y", TVar("T"))),
+    ))
+
+    # ==================================================================
+    # G. Rounding shifts
+    # ==================================================================
+    # (x + 2**(c-1)) >> c -> rounding_shr(x, c)
+    #   [x provably cannot overflow the addition]
+    T = TVar("T", max_bits=64)
+    add(Rule(
+        "lift-rounding-shr",
+        E.Shr(
+            E.Add(Wild("x", T), ConstWild("r", T)), ConstWild("c", T)
+        ),
+        F.RoundingShr(
+            Wild("x", T), PConst(TVar("T"), lambda c: c["c"])
+        ),
+        predicate=_rounding_shift_pred,
+    ))
+
+    # Rounding constants that don't fit the narrow type (e.g. +128 before
+    # >> 8 on u8 data) arrive here already widened by the A-rules, so the
+    # rule above, firing at the widened type, covers them.
+
+    # ==================================================================
+    # H. Fused multiply-shift
+    # ==================================================================
+    # saturating_narrow(widening_mul(x, y) >> c) -> mul_shr(x, y, c)
+    for sx, sy in [(False, False), (True, True), (False, True), (True, False)]:
+        Tx = TVar("Tx", signed=sx, max_bits=32)
+        Ty = TVar("Ty", signed=sy, max_bits=32)
+        wide_t = TWithSign(TWiden(Tx), sx or sy)
+        add(Rule(
+            f"lift-mul-shr-{'i' if sx else 'u'}{'i' if sy else 'u'}",
+            F.SaturatingNarrow(
+                E.Shr(
+                    F.WideningMul(Wild("x", Tx), Wild("y", Ty)),
+                    ConstWild("c", wide_t),
+                )
+            ),
+            F.MulShr(
+                Wild("x", Tx),
+                Wild("y", Ty),
+                PConst(TWithSign(Tx, False), lambda c: c["c"]),
+            ),
+            predicate=_const_fits_narrow_of("c", "Tx"),
+        ))
+
+        # saturating_narrow(rounding_shr(widening_mul(x, y), c))
+        #   -> rounding_mul_shr(x, y, c)
+        Tx = TVar("Tx", signed=sx, max_bits=32)
+        Ty = TVar("Ty", signed=sy, max_bits=32)
+        wide_t = TWithSign(TWiden(Tx), sx or sy)
+        add(Rule(
+            f"lift-rounding-mul-shr-{'i' if sx else 'u'}{'i' if sy else 'u'}",
+            F.SaturatingNarrow(
+                F.RoundingShr(
+                    F.WideningMul(Wild("x", Tx), Wild("y", Ty)),
+                    ConstWild("c", wide_t),
+                )
+            ),
+            F.RoundingMulShr(
+                Wild("x", Tx),
+                Wild("y", Ty),
+                PConst(TWithSign(Tx, False), lambda c: c["c"]),
+            ),
+            predicate=_const_fits_narrow_of("c", "Tx"),
+        ))
+
+    # ==================================================================
+    # I. Absolute value / absolute difference
+    # ==================================================================
+    x = Wild("x", TVar("T", signed=True))
+
+    def _signed_abs_rhs():
+        return E.Reinterpret(
+            TVar("T"), F.Abs(Wild("x", TVar("T", signed=True)))
+        )
+
+    for name, cond, tbranch, fbranch in [
+        ("gt", E.GT(x, ConstWild("z", TVar("T", signed=True))), x, E.Neg(x)),
+        ("lt", E.LT(x, ConstWild("z", TVar("T", signed=True))), E.Neg(x), x),
+        ("ge", E.GE(x, ConstWild("z", TVar("T", signed=True))), x, E.Neg(x)),
+        ("le", E.LE(x, ConstWild("z", TVar("T", signed=True))), E.Neg(x), x),
+    ]:
+        add(Rule(
+            f"lift-abs-{name}",
+            E.Select(cond, tbranch, fbranch),
+            _signed_abs_rhs(),
+            predicate=lambda m, ctx: m.consts["z"] == 0,
+        ))
+
+    # select(x > y, x - y, y - x) -> absd(x, y) (4 comparison spellings,
+    # each for signed [reinterpret back] and unsigned [direct]).
+    for signed in (False, True):
+        Ts = TVar("T", signed=signed)
+        xx, yy = Wild("x", Ts), Wild("y", Ts)
+        rhs_core = F.Absd(Wild("x", Ts), Wild("y", Ts))
+        rhs = E.Reinterpret(TVar("T"), rhs_core) if signed else rhs_core
+        sgn = "i" if signed else "u"
+        for name, sel in [
+            ("gt", E.Select(E.GT(xx, yy), E.Sub(xx, yy), E.Sub(yy, xx))),
+            ("lt", E.Select(E.LT(xx, yy), E.Sub(yy, xx), E.Sub(xx, yy))),
+            ("ge", E.Select(E.GE(xx, yy), E.Sub(xx, yy), E.Sub(yy, xx))),
+            ("le", E.Select(E.LE(xx, yy), E.Sub(yy, xx), E.Sub(xx, yy))),
+        ]:
+            add(Rule(f"lift-absd-{sgn}-{name}", sel, rhs))
+        # max(x, y) - min(x, y) -> absd(x, y)
+        add(Rule(
+            f"lift-absd-{sgn}-maxmin",
+            E.Sub(E.Max(xx, yy), E.Min(xx, yy)),
+            rhs,
+        ))
+
+    return rules
+
+
+# ----------------------------------------------------------------------
+# Predicates
+# ----------------------------------------------------------------------
+def _not_const(name: str) -> Callable[[Match, RuleContext], bool]:
+    def pred(m: Match, ctx: RuleContext) -> bool:
+        return not isinstance(m.env[name], E.Const)
+
+    return pred
+
+
+def _same_width(ta: str, tb: str) -> Callable[[Match, RuleContext], bool]:
+    def pred(m: Match, ctx: RuleContext) -> bool:
+        return m.tenv[ta].bits == m.tenv[tb].bits
+
+    return pred
+
+
+def _const_fits_narrow(name: str) -> Callable[[Match, RuleContext], bool]:
+    """The matched constant (in widen(T)) must be representable in T."""
+
+    def pred(m: Match, ctx: RuleContext) -> bool:
+        t = m.tenv["T"]
+        return 0 <= m.consts[name] <= t.max_value
+
+    return pred
+
+
+def _const_fits_narrow_of(
+    name: str, tvar: str
+) -> Callable[[Match, RuleContext], bool]:
+    def pred(m: Match, ctx: RuleContext) -> bool:
+        t = m.tenv[tvar]
+        return 0 <= m.consts[name] <= t.max_value
+
+    return pred
+
+
+def _clamp_bounds(lo: Optional[str] = None, hi: Optional[str] = None):
+    """The clamp constants must equal the intersection of the cast target's
+    range with the operand type's range — and any *omitted* clamp must be
+    implied by the operand's type."""
+
+    def pred(m: Match, ctx: RuleContext) -> bool:
+        n = m.tenv["N"]
+        t = m.tenv["T"]
+        want_lo = max(n.min_value, t.min_value)
+        want_hi = min(n.max_value, t.max_value)
+        if lo is not None:
+            if m.consts[lo] != want_lo:
+                return False
+        elif want_lo != t.min_value:
+            return False
+        if hi is not None:
+            if m.consts[hi] != want_hi:
+                return False
+        elif want_hi != t.max_value:
+            return False
+        return True
+
+    return pred
+
+
+def _rounding_shift_pred(m: Match, ctx: RuleContext) -> bool:
+    """(x + 2**(c-1)) >> c is rounding_shr(x, c) only when the addition
+    provably cannot overflow (bounds query) and r == 2**(c-1)."""
+    c = m.consts["c"]
+    r = m.consts["r"]
+    t = m.tenv["T"]
+    if not (0 < c < t.bits) or r != (1 << (c - 1)):
+        return False
+    return ctx.upper_bounded(m.env["x"], t.max_value - r)
+
+
+def _div2_forms(wide_op, plus_one: bool = False):
+    """T(wide / 2) and T(wide >> 1) pattern variants for halving rules."""
+    T = TVar("T", max_bits=32)
+    wide = wide_op(Wild("x", T), Wild("y", T))
+    wt = wide.type  # symbolic: TWiden or TWithSign(TWiden)
+    if plus_one:
+        wide = E.Add(wide, PConst(wt, 1))
+    two = PConst(wt, 2)
+    one = PConst(wt, 1)
+    yield "div", E.Cast(TVar("T"), E.Div(wide, two))
+    yield "shr", E.Cast(TVar("T"), E.Shr(wide, one))
+
+
+#: The assembled hand-written rule set (the ~50 rules of §3.2).
+HAND_RULES: List[Rule] = build_hand_rules()

@@ -1,0 +1,158 @@
+"""Offline-synthesized lifting rules (§4), checked in with provenance tags.
+
+Each rule below was produced by the pipeline of §4 — enumerate small
+sub-expressions of a benchmark's lowered IR, synthesize a cheaper FPIR
+equivalent, then generalize (symbolic constants with binary-searched range
+predicates, power-of-two relations, safe reinterpretations) — and verified
+by bounded equivalence checking (:mod:`repro.verify`).
+
+The ``source`` tag names the benchmark whose expressions taught the rule;
+§5's leave-one-out evaluation drops rules tagged with the benchmark under
+test.  :mod:`repro.synthesis` can regenerate rules of exactly these shapes
+(see ``tests/synthesis/test_paper_examples.py`` for the §4.1 example).
+
+The common thread: hand-written rules cover same-sign widening casts, but
+real code widens unsigned data into *signed* wider types (``i16(x_u8)``),
+which is value-preserving but defeats the same-sign patterns — "rules such
+as this are difficult for human compiler engineers to enumerate" (§4.1).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..fpir import ops as F
+from ..ir import expr as E
+from ..trs.pattern import ConstWild, PConst, TVar, TWiden, TWithSign, Wild
+from ..trs.rule import Rule
+from .rules import ilog2, is_pow2
+
+__all__ = ["SYNTHESIZED_RULES", "build_synthesized_rules"]
+
+
+def _Tu() -> TVar:
+    """Unsigned, widenable type variable."""
+    return TVar("T", signed=False, max_bits=32)
+
+
+def _signed_widen_cast(name: str) -> E.Expr:
+    """``iN*2(x_uN)`` — sign-mismatched (but value-preserving) widening."""
+    return E.Cast(TWithSign(TWiden(_Tu()), True), Wild(name, _Tu()))
+
+
+def _swt():
+    """The signed widened type pattern (resolution helper)."""
+    return TWithSign(TWiden(TVar("T")), True)
+
+
+def build_synthesized_rules() -> List[Rule]:
+    """Construct the checked-in synthesized lifting rule set (§4)."""
+    rules: List[Rule] = []
+    add = rules.append
+
+    # §4.1's example, generalized (§4.3):
+    #   i16(x_u8) << c0 -> reinterpret(widening_shl(x_u8, u8(c0)))
+    #   if (0 < c0 < 256)
+    add(Rule(
+        "synth-reinterpret-widening-shl",
+        E.Shl(_signed_widen_cast("x"), ConstWild("c0", _swt())),
+        E.Reinterpret(
+            _swt(),
+            F.WideningShl(
+                Wild("x", _Tu()),
+                PConst(TVar("T"), lambda c: c["c0"]),
+            ),
+        ),
+        predicate=lambda m, ctx: 0 < m.consts["c0"] < (
+            1 << m.tenv["T"].bits
+        ),
+        source="synth:add",
+    ))
+
+    # i16(x_u8) + i16(y_u8) -> reinterpret(widening_add(x, y))
+    add(Rule(
+        "synth-reinterpret-widening-add",
+        E.Add(_signed_widen_cast("x"), _signed_widen_cast("y")),
+        E.Reinterpret(
+            _swt(), F.WideningAdd(Wild("x", _Tu()), Wild("y", _Tu()))
+        ),
+        source="synth:add",
+    ))
+
+    # i16(x_u8) * i16(y_u8) -> reinterpret(widening_mul(x, y))
+    # (widening_mul(u8, u8) is u16; the signed product wraps identically)
+    add(Rule(
+        "synth-reinterpret-widening-mul",
+        E.Mul(_signed_widen_cast("x"), _signed_widen_cast("y")),
+        E.Reinterpret(
+            _swt(), F.WideningMul(Wild("x", _Tu()), Wild("y", _Tu()))
+        ),
+        source="synth:mul",
+    ))
+
+    # i16(x_u8) * c0 -> reinterpret(widening_shl(x, log2(c0)))  [pow2]
+    add(Rule(
+        "synth-reinterpret-widening-shl-pow2",
+        E.Mul(_signed_widen_cast("x"), ConstWild("c0", _swt())),
+        E.Reinterpret(
+            _swt(),
+            F.WideningShl(
+                Wild("x", _Tu()),
+                PConst(TVar("T"), lambda c: ilog2(c["c0"])),
+            ),
+        ),
+        predicate=lambda m, ctx: is_pow2(m.consts["c0"])
+        and m.consts["c0"] > 1,
+        source="synth:mul",
+    ))
+
+    # select(x >= y, x, y) -> max(x, y): the *non-strict* spellings, which
+    # the Halide/LLVM simplifiers do not canonicalize (they only match the
+    # strict < / > forms).  Learned from max_pool's padding boundary code.
+    for src, name, build in [
+        ("synth:max_pool,synth:camera_pipe", "ge-max",
+         lambda x, y: (E.Select(E.GE(x, y), x, y), E.Max(x, y))),
+        ("synth:max_pool,synth:camera_pipe", "le-min",
+         lambda x, y: (E.Select(E.LE(x, y), x, y), E.Min(x, y))),
+    ]:
+        T = TVar("T", max_bits=64)
+        x, y = Wild("x", T), Wild("y", T)
+        lhs, rhs = build(x, y)
+        add(Rule(f"synth-select-{name}", lhs, rhs, source=src))
+
+    # widen(x) * c0 -> widening_mul(x, c0)  [c0 fits T]
+    # Learned from gaussian7x7 (kernel taps 6, 15, 20 are not powers of
+    # two).  Helps ARM (umull/udot); §5.3.2 notes the HVX interaction
+    # with swizzles makes this a slight regression there.
+    T = _TuAny = TVar("T", max_bits=32)
+    add(Rule(
+        "synth-widening-mul-const",
+        E.Mul(E.Cast(TWiden(T), Wild("x", T)), ConstWild("c0", TWiden(T))),
+        F.WideningMul(
+            Wild("x", T), PConst(TVar("T"), lambda c: c["c0"])
+        ),
+        predicate=lambda m, ctx: 0
+        <= m.consts["c0"]
+        <= m.tenv["T"].max_value
+        and not is_pow2(m.consts["c0"]),
+        source="synth:gaussian7x7,synth:gaussian5x5",
+    ))
+
+    # halving_sub spelled through averages:
+    #   halving_add(x, ~y) == narrow((x - y - 1 + 2**bits) / 2)
+    # appears in camera_pipe's tone-curve interpolation as
+    #   (x - y) >> 1 + (x & ~y ...) — we lift the simpler spelling
+    #   widening_sub(x, y) >> 1 narrowed, which the hand rules already
+    #   cover; the synthesized extra is the *rounded* difference:
+    # T((widening_sub(x, y) + 1) >> 1) -> rounding-halving difference,
+    # excluded from FPIR by design (§3.1.2) — so it is deliberately NOT
+    # a rule here.  Kept as a comment to record the synthesis pipeline's
+    # curation step.
+
+    return rules
+
+
+#: The checked-in synthesized lifting rule set (the "25 synthesized
+#: rules" of §3.2 are split between these lifting rules and the per-target
+#: synthesized lowering rules in repro.targets.lowering).
+SYNTHESIZED_RULES: List[Rule] = build_synthesized_rules()

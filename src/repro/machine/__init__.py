@@ -1,0 +1,11 @@
+"""Machine layer: lowering, simulation, baselines."""
+
+from .llvm_baseline import LLVMBaseline, LLVMCompileError  # noqa: F401
+from .lowerer import Lowerer, LoweringError  # noqa: F401
+from .program import AsmLine, format_assembly, linearize  # noqa: F401
+from .simulator import (  # noqa: F401
+    CostBreakdown,
+    cost_cycles,
+    instruction_count,
+    simulate,
+)

@@ -1,0 +1,127 @@
+"""The lowering pass: FPIR -> target instructions (§3.3).
+
+For each backend, lowering is a top-down greedy TRS over the target's rule
+set (fused mappings fire before their components are consumed), followed by
+definitional expansion for FPIR ops the target has no rule for ("we provide
+efficient lowering from the FPIR instruction to multiple target
+instructions" — the compound rules are part of the rule set; this expansion
+is the final fallback), followed by generic mapping of the residual core IR.
+
+The result is a pure target-instruction tree (plus inputs/constants), which
+:mod:`repro.machine.simulator` can execute and cost.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..analysis import BoundsAnalyzer, BoundsContext
+from ..fpir.ops import FPIRInstr
+from ..fpir.semantics import expand
+from ..ir import expr as E
+from ..ir.traversal import transform_bottom_up
+from ..lifting.canonicalize import fold_constants
+from ..targets import Target, TargetOp, is_lowered
+from ..trs.rewriter import RewriteEngine
+from ..trs.rule import Rule
+
+__all__ = ["Lowerer", "LoweringError"]
+
+
+class LoweringError(RuntimeError):
+    """The expression could not be fully lowered for this target."""
+
+
+class Lowerer:
+    """Configurable per-target lowering TRS.
+
+    ``use_synthesized`` / ``exclude_sources`` mirror the lifter: they drive
+    the Figure 7 ablation and the §5 leave-one-out protocol.  ``rake_mode``
+    prepends the oracle-only rules (swizzle co-optimization and global
+    reorderings) that model Rake's richer search space.
+    """
+
+    def __init__(
+        self,
+        target: Target,
+        use_synthesized: bool = True,
+        exclude_sources: Iterable[str] = (),
+        rake_mode: bool = False,
+        extra_rules: Iterable[Rule] = (),
+    ):
+        self.target = target
+        # The use_synthesized/exclude filters apply to the *checked-in*
+        # rule sets; explicitly-passed extra_rules are the caller's
+        # responsibility (e.g. freshly-learned rules under evaluation).
+        builtin: List[Rule] = []
+        if rake_mode:
+            builtin += target.rake_extra_rules
+        builtin += target.lowering_rules
+        if not use_synthesized:
+            builtin = [r for r in builtin if not r.is_synthesized]
+        excluded = set(exclude_sources)
+        if excluded:
+            builtin = [r for r in builtin if not r.excluded_by(excluded)]
+        rules = list(extra_rules) + builtin
+        self.engine = RewriteEngine(rules, strategy="top_down")
+
+    # ------------------------------------------------------------------
+    def lower(
+        self, expr: E.Expr, analyzer: Optional[BoundsAnalyzer] = None
+    ) -> E.Expr:
+        """Lower a (typically lifted) expression to target instructions."""
+        ctx = BoundsContext(
+            analyzer if analyzer is not None else BoundsAnalyzer()
+        )
+
+        current = expr
+        for _ in range(64):
+            # Fold constants exposed by expansion (e.g. widened shift
+            # amounts) so they stay broadcast operands, not instructions.
+            current = fold_constants(current)
+            current = self.engine.rewrite_expr(current, ctx)
+            leftovers = [
+                n for n in current.walk() if isinstance(n, FPIRInstr)
+            ]
+            if not leftovers:
+                break
+            # Fallback: one definitional step for every rule-less FPIR
+            # node, then retry the TRS (the expansion may expose rules).
+            expanded = transform_bottom_up(
+                current, lambda n: expand(n) if isinstance(n, FPIRInstr) else None
+            )
+            if expanded == current:
+                raise LoweringError(
+                    f"{self.target.name}: FPIR residue would not expand: "
+                    f"{leftovers[0]}"
+                )
+            current = expanded
+        else:
+            raise LoweringError(
+                f"{self.target.name}: lowering did not converge"
+            )
+
+        return self._map_residue(current)
+
+    # ------------------------------------------------------------------
+    def _map_residue(self, expr: E.Expr) -> E.Expr:
+        """Generic-map all remaining core IR nodes, bottom-up."""
+        expr = fold_constants(expr)
+        mapper = self.target.generic
+
+        def map_node(node: E.Expr):
+            if isinstance(node, (TargetOp, E.Var, E.Const)):
+                return None
+            return mapper.map_node(node)
+
+        lowered = transform_bottom_up(expr, map_node)
+        if not is_lowered(lowered):
+            bad = next(
+                n
+                for n in lowered.walk()
+                if not isinstance(n, (TargetOp, E.Var, E.Const))
+            )
+            raise LoweringError(
+                f"{self.target.name}: node survived lowering: {bad!r}"
+            )
+        return lowered

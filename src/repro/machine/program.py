@@ -1,0 +1,73 @@
+"""Linearized program view: Figure 3-style assembly listings.
+
+Lowered programs are trees; for display and comparison we linearize them
+into an instruction sequence over virtual vector registers (post-order,
+with structural value numbering), in the paper's ``instr dst, operands``
+Intel-ish syntax.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..ir import expr as E
+from ..ir.types import ScalarType
+from ..targets import TargetOp
+
+__all__ = ["AsmLine", "linearize", "format_assembly"]
+
+
+@dataclass(frozen=True)
+class AsmLine:
+    dst: str
+    mnemonic: str
+    operands: tuple
+
+    def __str__(self) -> str:
+        ops = ", ".join(self.operands)
+        return f"{self.mnemonic:<14} {self.dst}{', ' if ops else ''}{ops}"
+
+
+def _reg_suffix(t: object) -> str:
+    if isinstance(t, ScalarType) and not t.is_bool:
+        return f".{t.code}"
+    return ""
+
+
+def linearize(program: E.Expr) -> List[AsmLine]:
+    """Post-order instruction schedule with value numbering."""
+    names: Dict[E.Expr, str] = {}
+    lines: List[AsmLine] = []
+    counter = [0]
+
+    def operand_name(node: E.Expr) -> str:
+        if isinstance(node, E.Var):
+            return node.name
+        if isinstance(node, E.Const):
+            return f"#{node.value}"
+        return names[node]
+
+    def visit(node: E.Expr) -> None:
+        if node in names or isinstance(node, (E.Var, E.Const)):
+            return
+        for c in node.children:
+            visit(c)
+        reg = f"v{counter[0]}{_reg_suffix(node.type)}"
+        counter[0] += 1
+        names[node] = reg
+        if isinstance(node, TargetOp):
+            mnemonic = node.spec.name
+        else:  # pragma: no cover - non-lowered trees, debugging aid
+            mnemonic = type(node).__name__.lower()
+        lines.append(
+            AsmLine(reg, mnemonic, tuple(operand_name(c) for c in node.children))
+        )
+
+    visit(program)
+    return lines
+
+
+def format_assembly(program: E.Expr) -> str:
+    """Render as a Figure 3-style listing."""
+    return "\n".join(str(line) for line in linearize(program))

@@ -1,0 +1,213 @@
+"""PITCHFORK's compile pipeline: lift to FPIR, then lower to the target.
+
+This is the user-facing facade (Figure 1's "online" path)::
+
+    from repro import pipeline, targets
+    prog = pipeline.pitchfork_compile(expr, targets.ARM)
+    print(prog.assembly())
+    cycles = prog.cost().total
+    out = prog.run({"a": [...], "b": [...]})
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from .analysis import BoundsAnalyzer, Interval
+from .ir.expr import Expr
+from .lifting.lifter import Lifter
+from .machine.llvm_baseline import LLVMBaseline, LLVMCompileError
+from .machine.lowerer import Lowerer
+from .machine.backend_passes import run_backend_passes
+from .machine.program import format_assembly, linearize
+from .machine.simulator import CostBreakdown, cost_cycles, simulate
+from .targets import Target
+
+__all__ = [
+    "CompiledProgram",
+    "PitchforkCompiler",
+    "pitchfork_compile",
+    "llvm_compile",
+    "rake_compile",
+    "LLVMCompileError",
+]
+
+
+@dataclass
+class CompiledProgram:
+    """A lowered program plus provenance and measurement helpers."""
+
+    source: Expr
+    lifted: Optional[Expr]
+    lowered: Expr
+    target: Target
+    compiler: str  # 'pitchfork' | 'llvm' | 'rake'
+    compile_seconds: float = 0.0
+    lift_rules_used: List[str] = field(default_factory=list)
+    swizzle_discount: float = 0.0
+
+    def cost(self, lanes: Optional[int] = None) -> CostBreakdown:
+        """Modelled cycles per vector iteration."""
+        return cost_cycles(
+            self.lowered,
+            self.target,
+            lanes=lanes,
+            swizzle_discount=self.swizzle_discount,
+        )
+
+    def run(
+        self, env: Mapping[str, Sequence[int]], lanes: Optional[int] = None
+    ) -> List[int]:
+        """Execute the lowered program (exact reference semantics)."""
+        return simulate(self.lowered, env, lanes=lanes)
+
+    def assembly(self) -> str:
+        """Figure 3-style listing."""
+        return format_assembly(self.lowered)
+
+    @property
+    def instructions(self) -> List[str]:
+        return [line.mnemonic for line in linearize(self.lowered)]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<CompiledProgram {self.compiler}/{self.target.name} "
+            f"{len(self.instructions)} instrs>"
+        )
+
+
+class PitchforkCompiler:
+    """Configurable lift+lower pipeline (ablations, leave-one-out)."""
+
+    def __init__(
+        self,
+        target: Target,
+        use_synthesized: bool = True,
+        exclude_sources: Iterable[str] = (),
+    ):
+        self.target = target
+        self.lifter = Lifter(
+            use_synthesized=use_synthesized,
+            exclude_sources=exclude_sources,
+        )
+        self.lowerer = Lowerer(
+            target,
+            use_synthesized=use_synthesized,
+            exclude_sources=exclude_sources,
+        )
+
+    def compile(
+        self,
+        expr: Expr,
+        var_bounds: Optional[Dict[str, Interval]] = None,
+    ) -> CompiledProgram:
+        t0 = time.perf_counter()
+        analyzer = BoundsAnalyzer(var_bounds)
+        lift_result = self.lifter.lift(expr, analyzer)
+        # Bounds facts derived on the source remain valid on the lifted
+        # form, but the cache is keyed structurally; use a fresh analyzer
+        # so FPIR-aware transfer functions apply.
+        lowered = self.lowerer.lower(
+            lift_result.expr, BoundsAnalyzer(var_bounds)
+        )
+        run_backend_passes(lowered)  # shared downstream LLVM work (§5.2)
+        elapsed = time.perf_counter() - t0
+        return CompiledProgram(
+            source=expr,
+            lifted=lift_result.expr,
+            lowered=lowered,
+            target=self.target,
+            compiler="pitchfork",
+            compile_seconds=elapsed,
+            lift_rules_used=lift_result.rules_used,
+        )
+
+
+_COMPILER_CACHE: Dict[tuple, PitchforkCompiler] = {}
+_BASELINE_CACHE: Dict[tuple, "LLVMBaseline"] = {}
+
+
+def pitchfork_compile(
+    expr: Expr,
+    target: Target,
+    var_bounds: Optional[Dict[str, Interval]] = None,
+    use_synthesized: bool = True,
+    exclude_sources: Iterable[str] = (),
+) -> CompiledProgram:
+    """One-shot PITCHFORK compilation.
+
+    Compiler instances (rule sets + engines) are cached per
+    configuration, as in a long-lived compiler process; per-expression
+    state (bounds caches) is still fresh for every call.
+    """
+    key = (target.name, use_synthesized, frozenset(exclude_sources))
+    compiler = _COMPILER_CACHE.get(key)
+    if compiler is None:
+        compiler = PitchforkCompiler(
+            target,
+            use_synthesized=use_synthesized,
+            exclude_sources=exclude_sources,
+        )
+        _COMPILER_CACHE[key] = compiler
+    return compiler.compile(expr, var_bounds)
+
+
+def rake_compile(
+    expr: Expr,
+    target: Target,
+    var_bounds: Optional[Dict[str, Interval]] = None,
+) -> CompiledProgram:
+    """Compile via the Rake-like search-based oracle (ARM/HVX only)."""
+    from .machine.rake_oracle import RakeSelector
+
+    t0 = time.perf_counter()
+    analyzer = BoundsAnalyzer(var_bounds)
+    lifted = Lifter(use_synthesized=True).lift(expr, analyzer).expr
+    selector = RakeSelector(target)
+    lowered, _ = selector.best_lowering(lifted, BoundsAnalyzer(var_bounds))
+    elapsed = time.perf_counter() - t0
+    return CompiledProgram(
+        source=expr,
+        lifted=lifted,
+        lowered=lowered,
+        target=target,
+        compiler="rake",
+        compile_seconds=elapsed,
+        swizzle_discount=selector.swizzle_discount,
+    )
+
+
+def llvm_compile(
+    expr: Expr,
+    target: Target,
+    var_bounds: Optional[Dict[str, Interval]] = None,
+    q31_fallback: bool = False,
+) -> CompiledProgram:
+    """One-shot LLVM-baseline compilation (may raise LLVMCompileError).
+
+    ``q31_fallback`` applies the §5.1 substitution (32-bit
+    rounding_mul_shr sequence) — use it only after a plain attempt
+    raised, mirroring the paper's protocol.
+    """
+    t0 = time.perf_counter()
+    analyzer = BoundsAnalyzer(var_bounds)
+    bkey = (target.name, q31_fallback)
+    baseline = _BASELINE_CACHE.get(bkey)
+    if baseline is None:
+        baseline = LLVMBaseline(
+            target, allow_q31_substitution=q31_fallback
+        )
+        _BASELINE_CACHE[bkey] = baseline
+    lowered = baseline.compile(expr, analyzer)
+    run_backend_passes(lowered)  # shared downstream LLVM work (§5.2)
+    elapsed = time.perf_counter() - t0
+    return CompiledProgram(
+        source=expr,
+        lifted=None,
+        lowered=lowered,
+        target=target,
+        compiler="llvm+q31sub" if q31_fallback else "llvm",
+        compile_seconds=elapsed,
+    )

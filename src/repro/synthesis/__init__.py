@@ -1,0 +1,11 @@
+"""Offline rule synthesis (§4): corpus, SyGuS, generalization, oracle."""
+
+from .corpus import CorpusEntry, extract_corpus  # noqa: F401
+from .driver import SynthesisRun, synthesize_lifting_rules  # noqa: F401
+from .generalize import GeneralizationError, generalize_pair  # noqa: F401
+from .lowering_gen import (  # noqa: F401
+    LoweringPair,
+    generate_lowering_pairs,
+    synthesize_lowering_rules,
+)
+from .sygus import SynthesisResult, synthesize_lift  # noqa: F401

@@ -1,0 +1,74 @@
+"""Corpus extraction for offline rule synthesis (§4).
+
+"We aim to only include rules that may trigger on real code — this is why
+we do not use randomly-generated expressions, and instead choose a
+data-driven approach."  The corpus is therefore drawn from the benchmark
+workloads themselves: every sub-expression of up to ``max_size`` IR nodes
+(the paper uses 10), deduplicated *up to variable renaming* so that
+``u16(a) + u16(b)`` and ``u16(c) + u16(d)`` yield one candidate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..ir import expr as E
+from ..ir.traversal import subexpressions, transform_bottom_up
+from ..workloads import Workload, all_workloads
+
+__all__ = ["CorpusEntry", "extract_corpus", "canonicalize_variables"]
+
+MAX_LHS_SIZE = 10  # §4.1: "sub-expressions of size up to 10 IR nodes"
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One candidate left-hand side with its provenance."""
+
+    expr: E.Expr
+    source: str  # benchmark name
+
+
+def canonicalize_variables(expr: E.Expr) -> E.Expr:
+    """Rename variables to v0, v1, ... in first-occurrence order.
+
+    Two sub-expressions equal up to renaming become structurally equal,
+    which is how the corpus deduplicates shape-identical candidates.
+    """
+    mapping: Dict[str, str] = {}
+
+    def rename(node: E.Expr):
+        if isinstance(node, E.Var):
+            new = mapping.setdefault(node.name, f"v{len(mapping)}")
+            return E.Var(node.type, new)
+        return None
+
+    return transform_bottom_up(expr, rename)
+
+
+def extract_corpus(
+    workloads: Optional[Iterable[Workload]] = None,
+    max_size: int = MAX_LHS_SIZE,
+    min_size: int = 3,
+) -> List[CorpusEntry]:
+    """All distinct (up to renaming) sub-expressions of the workloads.
+
+    ``min_size`` skips leaves and single operations, which cannot produce
+    useful rules (a one-node LHS has no structure to rewrite).
+    """
+    wls = list(workloads) if workloads is not None else all_workloads()
+    seen: Dict[E.Expr, None] = {}
+    corpus: List[CorpusEntry] = []
+    for wl in wls:
+        for sub in subexpressions(wl.expr, max_size=max_size):
+            if sub.size < min_size:
+                continue
+            if isinstance(sub, (E.Var, E.Const)):
+                continue
+            canon = canonicalize_variables(sub)
+            if canon in seen:
+                continue
+            seen[canon] = None
+            corpus.append(CorpusEntry(expr=canon, source=wl.name))
+    return corpus

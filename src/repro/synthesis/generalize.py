@@ -1,0 +1,372 @@
+"""Rule generalization (§4.3): concrete rewrite pairs -> symbolic rules.
+
+"We generalize lifting and lowering rules using a set of techniques
+described below.  Note that these are only generalization attempts —
+PITCHFORK verifies the attempt at generalization to confirm that the
+generalized rule is still correct."
+
+1. replace all instances of a constant with a symbolic constant;
+2. require one constant to be two-to-the-power-of another;
+3. safe reinterpretations (the ``widen(T)``/``TWithSign`` type patterns);
+4. safe truncation vs saturation (left to the predicated lowering rules).
+
+"For bounds on symbolic constants, we perform a simple binary search on
+the space of possible integer values for that constant's type."
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from ..ir import expr as E
+from ..ir.expr import Const, Expr, Var
+from ..ir.types import ScalarType
+from ..trs.matcher import Match
+from ..trs.pattern import (
+    ConstWild,
+    PConst,
+    TVar,
+    TWiden,
+    TWithSign,
+    TypePattern,
+    Wild,
+)
+from ..trs.rule import Rule, RuleContext
+from ..verify import verify_rule
+
+__all__ = ["generalize_pair", "GeneralizationError"]
+
+
+class GeneralizationError(Exception):
+    """No verified generalization could be produced."""
+
+
+# ----------------------------------------------------------------------
+# Type generalization ("safe reinterpretations")
+# ----------------------------------------------------------------------
+def _type_patterns_for(
+    concrete_types: List[ScalarType],
+) -> Optional[Dict[ScalarType, Union[ScalarType, TypePattern]]]:
+    """Express every concrete type relative to one base type variable.
+
+    The narrowest type present becomes ``T``; every other type must be
+    reachable from it through widening and signedness flips — otherwise
+    the rule stays monomorphic in that type.
+    """
+    if not concrete_types:
+        return {}
+    base = min(concrete_types, key=lambda t: (t.bits, t.signed))
+    T = TVar("T", signed=base.signed, max_bits=32)
+    mapping: Dict[ScalarType, Union[ScalarType, TypePattern]] = {}
+    for t in concrete_types:
+        pat: Union[ScalarType, TypePattern, None] = None
+        if t == base:
+            pat = TVar("T", signed=base.signed, max_bits=32)
+        elif t == base.with_signed(not base.signed):
+            pat = TWithSign(T, t.signed)
+        elif base.can_widen() and t == base.widen():
+            pat = TWiden(T)
+        elif base.can_widen() and t == base.widen().with_signed(
+            not base.signed
+        ):
+            pat = TWithSign(TWiden(T), t.signed)
+        elif (
+            base.can_widen()
+            and base.widen().can_widen()
+            and t.bits == base.bits * 4
+        ):
+            inner = TWiden(TWiden(T))
+            pat = (
+                inner
+                if t.signed == base.signed
+                else TWithSign(inner, t.signed)
+            )
+        if pat is None:
+            return None
+        mapping[t] = pat
+    return mapping
+
+
+def _symbolize(
+    expr: Expr,
+    tmap: Dict[ScalarType, Union[ScalarType, TypePattern]],
+    const_names: Dict[Const, str],
+    rhs_const_fns: Optional[Dict[Const, Callable]] = None,
+) -> Expr:
+    """Rebuild a concrete expression as a pattern tree."""
+
+    def go(node: Expr) -> Expr:
+        if isinstance(node, Var):
+            return Wild(node.name, tmap.get(node.type, node.type))
+        if isinstance(node, Const):
+            tp = tmap.get(node.type, node.type)
+            if rhs_const_fns is not None and node in rhs_const_fns:
+                return PConst(tp, rhs_const_fns[node])
+            name = const_names.get(node)
+            if name is not None:
+                if rhs_const_fns is not None:
+                    # RHS reuses a matched constant verbatim
+                    return PConst(tp, lambda c, _n=name: c[_n])
+                return ConstWild(name, tp)
+            return PConst(tp, node.value) if _is_symbolic(tp) else node
+        args = []
+        for f in node._fields:
+            v = getattr(node, f)
+            if isinstance(v, Expr):
+                args.append(go(v))
+            elif isinstance(v, ScalarType):
+                args.append(tmap.get(v, v))
+            else:
+                args.append(v)
+        return type(node)(*args)
+
+    return go(expr)
+
+
+def _is_symbolic(tp) -> bool:
+    return isinstance(tp, TypePattern)
+
+
+# ----------------------------------------------------------------------
+# Constant relations (§4.3 techniques 1 & 2)
+# ----------------------------------------------------------------------
+def _relate_rhs_constant(
+    rhs_const: Const, lhs_names: Dict[Const, str]
+) -> Optional[Tuple[Callable, str, str]]:
+    """Express an RHS constant as a function of matched LHS constants.
+
+    Returns (fn, lhs_const_name, kind); kind ∈ {'equal', 'log2', 'pow',
+    'minus1', 'plus1'}.  'log2' means the LHS constant must be a power of
+    two (§4.3 technique 2) — the caller restricts its domain accordingly.
+    """
+    v = rhs_const.value
+    for lc, name in lhs_names.items():
+        if v == lc.value:
+            return (lambda c, _n=name: c[_n]), name, "equal"
+        if lc.value > 0 and v == lc.value.bit_length() - 1 and (
+            lc.value & (lc.value - 1) == 0
+        ):
+            return (
+                (lambda c, _n=name: c[_n].bit_length() - 1), name, "log2"
+            )
+        if 0 <= lc.value < 63 and v == (1 << lc.value):
+            return (lambda c, _n=name: 1 << c[_n]), name, "pow"
+        if v == lc.value - 1:
+            return (lambda c, _n=name: c[_n] - 1), name, "minus1"
+        if v == lc.value + 1:
+            return (lambda c, _n=name: c[_n] + 1), name, "plus1"
+    return None
+
+
+# ----------------------------------------------------------------------
+# Constant range search
+# ----------------------------------------------------------------------
+def _rule_holds_at(rule_builder, const_value: int) -> bool:
+    rule, consts = rule_builder(const_value)
+    return verify_rule(
+        rule,
+        max_type_combos=4,
+        max_points=256,
+        forced_consts=consts,
+    ).ok
+
+
+def _binary_search_bounds(
+    rule_builder, t: ScalarType, witness: int, pow2_only: bool = False
+) -> Tuple[int, int]:
+    """Largest *contiguous* verified interval around ``witness``.
+
+    Exponential probing outward from the witness locates the first
+    failing value in each direction, then binary search pins the exact
+    boundary — robust against far-away "accidentally equal" regions
+    (e.g. both sides over-shifting to zero), which a plain binary search
+    over the whole type range would leap across.
+
+    With ``pow2_only`` the domain is the powers of two in the type
+    (§4.3's "require one constant to be two to the power of another");
+    the scan then walks exponents instead of values.
+    """
+    if pow2_only:
+        exp = witness.bit_length() - 1
+        lo_e = exp
+        while lo_e > 0 and _rule_holds_at(rule_builder, 1 << (lo_e - 1)):
+            lo_e -= 1
+        hi_e = exp
+        while t.contains(1 << (hi_e + 1)) and _rule_holds_at(
+            rule_builder, 1 << (hi_e + 1)
+        ):
+            hi_e += 1
+        return (1 << lo_e, 1 << hi_e)
+
+    def boundary(direction: int, limit: int) -> int:
+        # find first failure in `direction`, exponentially
+        last_ok = witness
+        step = 1
+        probe = witness + direction * step
+        while (probe - limit) * direction <= 0:
+            if _rule_holds_at(rule_builder, probe):
+                last_ok = probe
+                step *= 2
+                probe = witness + direction * step
+            else:
+                break
+        else:
+            return limit  # verified all the way to the type boundary
+        # binary search between last_ok (holds) and probe (fails)
+        lo_b, hi_b = (last_ok, probe) if direction > 0 else (probe, last_ok)
+        while hi_b - lo_b > 1:
+            mid = (lo_b + hi_b) // 2
+            if _rule_holds_at(rule_builder, mid):
+                if direction > 0:
+                    lo_b = mid
+                else:
+                    hi_b = mid
+            else:
+                if direction > 0:
+                    hi_b = mid
+                else:
+                    lo_b = mid
+        return lo_b if direction > 0 else hi_b
+
+    return boundary(-1, t.min_value), boundary(+1, t.max_value)
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def generalize_pair(
+    lhs: Expr,
+    rhs: Expr,
+    name: str = "synthesized",
+    source: str = "synth:unknown",
+    extra_predicate: Optional[Callable[[Match, RuleContext], bool]] = None,
+) -> Rule:
+    """Generalize a concrete (lhs, rhs) rewrite pair into a verified Rule.
+
+    Tries the polymorphic type generalization first ("safe
+    reinterpretations"); if the fully-polymorphic rule fails verification
+    (e.g. a clamp bound that is only right for one type), falls back to a
+    monomorphic rule with symbolic constants only.  Raises
+    :class:`GeneralizationError` if neither verifies.
+    """
+    concrete_types = sorted(
+        {
+            n.type
+            for n in itertools.chain(lhs.walk(), rhs.walk())
+            if isinstance(n.type, ScalarType) and not n.type.is_bool
+        },
+        key=lambda t: (t.bits, t.signed),
+    )
+    poly_tmap = _type_patterns_for(concrete_types)
+
+    attempts = []
+    if poly_tmap is not None:
+        attempts.append(poly_tmap)
+    attempts.append({})  # monomorphic fallback
+
+    last_error: Optional[str] = None
+    for tmap in attempts:
+        try:
+            return _attempt_generalization(
+                lhs, rhs, tmap, name, source, extra_predicate
+            )
+        except GeneralizationError as exc:
+            last_error = str(exc)
+    raise GeneralizationError(last_error or f"{name}: no generalization")
+
+
+def _attempt_generalization(
+    lhs: Expr,
+    rhs: Expr,
+    tmap: Dict[ScalarType, Union[ScalarType, TypePattern]],
+    name: str,
+    source: str,
+    extra_predicate: Optional[Callable[[Match, RuleContext], bool]],
+) -> Rule:
+    # symbolic constants (§4.3 technique 1)
+    lhs_consts = [n for n in lhs.walk() if isinstance(n, Const)]
+    const_names: Dict[Const, str] = {}
+    for c in dict.fromkeys(lhs_consts):
+        const_names[c] = f"c{len(const_names)}"
+
+    # RHS constant relations (§4.3 technique 2)
+    rhs_const_fns: Dict[Const, Callable] = {}
+    pow2_consts: set = set()
+    for c in {n for n in rhs.walk() if isinstance(n, Const)}:
+        rel = _relate_rhs_constant(c, const_names)
+        if rel is not None:
+            fn, lhs_name, kind = rel
+            rhs_const_fns[c] = fn
+            if kind == "log2":
+                pow2_consts.add(lhs_name)
+
+    lhs_pat = _symbolize(lhs, tmap, const_names)
+    rhs_pat = _symbolize(rhs, tmap, const_names, rhs_const_fns)
+
+    bounds: Dict[str, Tuple[int, int]] = {}
+    witnesses = {cname: c.value for c, cname in const_names.items()}
+
+    def is_pow2(v: int) -> bool:
+        return v > 0 and (v & (v - 1)) == 0
+
+    def range_pred(m: Match, ctx: RuleContext) -> bool:
+        for cname, (lo, hi) in bounds.items():
+            v = m.consts[cname]
+            if not (lo <= v <= hi):
+                return False
+            if cname in pow2_consts and not is_pow2(v):
+                return False
+        if extra_predicate is not None:
+            return extra_predicate(m, ctx)
+        return True
+
+    def build_rule(pred) -> Rule:
+        return Rule(name, lhs_pat, rhs_pat, predicate=pred, source=source)
+
+    def witness_only_pred(vals):
+        def pred(m: Match, ctx: RuleContext) -> bool:
+            if extra_predicate is not None and not extra_predicate(m, ctx):
+                return False
+            return True
+
+        return pred
+
+    if const_names:
+        for c, cname in const_names.items():
+            def at_value(v: int, _cname=cname):
+                vals = dict(witnesses)
+                vals[_cname] = v
+                return build_rule(witness_only_pred(vals)), vals
+
+            t = c.type if isinstance(c.type, ScalarType) else None
+            if t is None:
+                continue
+            if not _rule_holds_at(at_value, c.value):
+                raise GeneralizationError(
+                    f"{name}: not even the witness constant verifies"
+                )
+            bounds[cname] = _binary_search_bounds(
+                at_value, t, c.value, pow2_only=cname in pow2_consts
+            )
+
+    if bounds and extra_predicate is None:
+        # emit the serializable predicate form (§4 rule-file artifacts)
+        from ..trs.serialize import make_range_predicate
+
+        final_pred = make_range_predicate(bounds, tuple(pow2_consts))
+    elif bounds or extra_predicate:
+        final_pred = range_pred
+    else:
+        final_pred = None
+    rule = build_rule(final_pred)
+
+    # final verification of the generalized rule as it will be used
+    report = verify_rule(rule, max_type_combos=8, max_const_samples=6)
+    if not report.ok:
+        raise GeneralizationError(
+            f"{name}: generalization failed verification: "
+            f"{report.counterexample}"
+        )
+    return rule

@@ -1,0 +1,256 @@
+"""Enumerative syntax-guided synthesis of lifting right-hand sides (§4.1).
+
+Given a concrete left-hand-side expression (primitive integer IR over
+input variables), search for an equivalent expression that *uses FPIR* and
+is strictly cheaper under the target-agnostic cost model of §3.2.
+
+The search is classic bottom-up enumerative SyGuS with observational
+equivalence pruning — the same recipe as the paper's Rosette pipeline, with
+the SMT oracle replaced by bounded equivalence checking:
+
+* terminals: the LHS's variables, plus constants derived from the LHS's
+  own constants (the value itself, its log2, small shift counts) — FPIR's
+  curated/minimal design keeps the branching factor manageable (§3.1.2);
+* candidates are grouped by (type, outputs-on-test-inputs); only the
+  cheapest representative of each observational class is kept;
+* a candidate whose signature matches the LHS graduates to full bounded
+  verification (:func:`repro.verify.verify_equivalence`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..fpir import ops as F
+from ..interp import EvalError, evaluate
+from ..ir import expr as E
+from ..ir.expr import Const, Expr, Var, free_vars
+from ..ir.types import ScalarType
+from ..trs.costs import Cost, cost
+from ..verify import verify_equivalence
+
+__all__ = ["synthesize_lift", "SynthesisResult"]
+
+
+@dataclass
+class SynthesisResult:
+    """A successful synthesis: a cheaper equivalent using FPIR."""
+
+    lhs: Expr
+    rhs: Expr
+    lhs_cost: Cost
+    rhs_cost: Cost
+    candidates_explored: int
+
+
+Signature = Tuple[int, ...]
+
+
+def _test_envs(
+    variables: List[Var], n_tests: int, rng: random.Random
+) -> Dict[str, List[int]]:
+    env: Dict[str, List[int]] = {}
+    for v in variables:
+        t = v.type
+        picks = [t.min_value, t.max_value, 0, 1]
+        if t.signed:
+            picks.append(-1)
+        while len(picks) < n_tests:
+            picks.append(rng.randint(t.min_value, t.max_value))
+        env[v.name] = [t.wrap(p) for p in picks[:n_tests]]
+    return env
+
+
+def _signature(expr: Expr, env, n_tests: int) -> Optional[Signature]:
+    try:
+        return tuple(evaluate(expr, env, lanes=n_tests))
+    except (EvalError, E.TypeError_, ValueError):
+        return None
+
+
+def _derived_constants(lhs: Expr) -> List[int]:
+    """Constant values worth trying on the RHS (§4.3 relations)."""
+    vals = {0, 1, 2}
+    for node in lhs.walk():
+        if isinstance(node, Const):
+            v = node.value
+            vals.add(v)
+            if v > 0:
+                vals.add(v.bit_length() - 1)  # log2 for pow2 relations
+                if v.bit_length() <= 16:
+                    vals.add(1 << (v.bit_length() - 1))
+            if v > 1:
+                vals.add(v - 1)
+    return sorted(vals)
+
+
+def _try(builder, *args) -> Optional[Expr]:
+    try:
+        return builder(*args)
+    except (E.TypeError_, ValueError):
+        return None
+
+
+def _unary_candidates(a: Expr) -> List[Expr]:
+    out = []
+    t = a.type
+    for b in (
+        lambda: F.Abs(a),
+        lambda: F.SaturatingNarrow(a),
+    ):
+        e = _try(b)
+        if e is not None:
+            out.append(e)
+    if isinstance(t, ScalarType) and not t.is_bool:
+        e = _try(lambda: E.Reinterpret(t.with_signed(not t.signed), a))
+        if e is not None:
+            out.append(e)
+        if t.can_widen():
+            out.append(E.Cast(t.widen(), a))
+        if t.can_narrow():
+            out.append(E.Cast(t.narrow(), a))
+    return out
+
+
+_BINARY_FPIR = (
+    F.WideningAdd,
+    F.WideningSub,
+    F.WideningMul,
+    F.HalvingAdd,
+    F.HalvingSub,
+    F.RoundingHalvingAdd,
+    F.SaturatingAdd,
+    F.SaturatingSub,
+    F.Absd,
+    F.ExtendingAdd,
+    F.ExtendingSub,
+)
+
+_BINARY_CORE = (E.Add, E.Sub, E.Min, E.Max)
+
+#: ops whose second operand is a (small) constant
+_SHIFT_FPIR = (
+    F.WideningShl,
+    F.WideningShr,
+    F.RoundingShl,
+    F.RoundingShr,
+    F.SaturatingShl,
+)
+
+
+def _binary_candidates(a: Expr, b: Expr) -> List[Expr]:
+    out = []
+    for cls in _BINARY_FPIR + _BINARY_CORE:
+        e = _try(cls, a, b)
+        if e is not None:
+            out.append(e)
+    return out
+
+
+def _shift_candidates(a: Expr, shift_vals: List[int]) -> List[Expr]:
+    out = []
+    t = a.type
+    if not isinstance(t, ScalarType) or t.is_bool:
+        return out
+    for v in shift_vals:
+        if not (0 <= v < t.bits):
+            continue
+        c = Const(t.with_signed(False), v)
+        for cls in _SHIFT_FPIR:
+            e = _try(cls, a, c)
+            if e is not None:
+                out.append(e)
+    return out
+
+
+def synthesize_lift(
+    lhs: Expr,
+    max_size: int = 5,
+    n_tests: int = 12,
+    seed: int = 0,
+    pool_cap: int = 512,
+) -> Optional[SynthesisResult]:
+    """Search for a cheaper FPIR-bearing equivalent of ``lhs``.
+
+    Returns None if no candidate up to ``max_size`` nodes verifies.
+    """
+    rng = random.Random(seed)
+    variables = list(free_vars(lhs))
+    env = _test_envs(variables, n_tests, rng)
+    target_sig = _signature(lhs, env, n_tests)
+    if target_sig is None:
+        return None
+    lhs_cost = cost(lhs)
+    target_type = lhs.type
+
+    shift_vals = _derived_constants(lhs)
+
+    # pool: size -> list of exprs; seen: signature-by-type -> cheapest
+    seen: Dict[Tuple[ScalarType, Signature], Cost] = {}
+    by_size: Dict[int, List[Expr]] = {1: []}
+    explored = 0
+
+    def consider(e: Expr) -> Optional[SynthesisResult]:
+        nonlocal explored
+        explored += 1
+        sig = _signature(e, env, n_tests)
+        if sig is None:
+            return None
+        t = e.type
+        key = (t, sig)
+        c = cost(e)
+        prev = seen.get(key)
+        if prev is not None and prev <= c:
+            return None
+        seen[key] = c
+        size = e.size
+        by_size.setdefault(size, []).append(e)
+        # goal check
+        if t == target_type and sig == target_sig and c < lhs_cost:
+            # must actually introduce FPIR — a plain re-association is a
+            # simplification, not a lift
+            if any(isinstance(n, F.FPIRInstr) for n in e.walk()):
+                if verify_equivalence(lhs, e, rng=rng, max_points=1024) is None:
+                    return SynthesisResult(lhs, e, lhs_cost, c, explored)
+        return None
+
+    for v in variables:
+        got = consider(v)
+        if got:
+            return got
+
+    for size in range(2, max_size + 1):
+        new: List[Expr] = []
+        # unary + shift productions over smaller candidates
+        for sub_size in range(1, size):
+            for a in list(by_size.get(sub_size, [])):
+                if sub_size + 1 != size and sub_size + 2 != size:
+                    # unary adds 1 node; shift adds 2 (op + const)
+                    pass
+                if sub_size + 1 == size:
+                    for e in _unary_candidates(a):
+                        got = consider(e)
+                        if got:
+                            return got
+                if sub_size + 2 == size:
+                    for e in _shift_candidates(a, shift_vals):
+                        got = consider(e)
+                        if got:
+                            return got
+        # binary productions
+        for la in range(1, size - 1):
+            lb = size - 1 - la
+            for a in list(by_size.get(la, [])):
+                for b in list(by_size.get(lb, [])):
+                    for e in _binary_candidates(a, b):
+                        got = consider(e)
+                        if got:
+                            return got
+        # cap pools to keep the search bounded
+        for s, pool in by_size.items():
+            if len(pool) > pool_cap:
+                pool.sort(key=cost)
+                del pool[pool_cap:]
+    return None

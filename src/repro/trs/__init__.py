@@ -1,0 +1,18 @@
+"""Term-rewriting engine: patterns, matching, rules, costs, rewriter."""
+
+from .costs import Cost, OP_RANK, cost  # noqa: F401
+from .matcher import Match, instantiate, match  # noqa: F401
+from .pattern import (  # noqa: F401
+    ConstWild,
+    PConst,
+    TNarrow,
+    TVar,
+    TWiden,
+    TWithSign,
+    TypeEnv,
+    TypePattern,
+    Wild,
+    resolve_type,
+)
+from .rewriter import RewriteEngine, RewriteError, RewriteResult  # noqa: F401
+from .rule import Rule, RuleContext  # noqa: F401

@@ -1,0 +1,133 @@
+"""The greedy bottom-up fixed-point term-rewriting engine (§3.2).
+
+The engine "traverses the expression tree bottom up, greedily applying a set
+of ordered rules ... and repeats this process until the expression converges
+to a fixed point.  Convergence is guaranteed by requiring that each rule
+strictly reduces a target-agnostic cost.  Rules that could match on the same
+input are also ordered using this cost, with the lower-cost output
+preferred."
+
+Two configurations are used in the system:
+
+* the **lifting** TRS enforces strict cost decrease under the target-
+  agnostic cost model (guaranteeing termination by well-foundedness);
+* the **lowering** TRSs translate *between* languages (FPIR -> target
+  intrinsics), where the target-agnostic cost is not meaningful; they rely
+  on rule stratification (each rule's output contains strictly more target
+  nodes and fewer FPIR nodes) plus an iteration cap as a backstop.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Type
+
+from ..ir.expr import Expr
+from ..ir.traversal import transform_bottom_up, transform_top_down
+from .costs import Cost, cost
+from .rule import Rule, RuleContext
+
+__all__ = ["RewriteEngine", "RewriteResult", "RewriteError"]
+
+
+class RewriteError(RuntimeError):
+    """Raised when rewriting fails to converge within the iteration cap."""
+
+
+class RewriteResult:
+    """The outcome of a rewriting session, with an application trace."""
+
+    def __init__(self, expr: Expr, applications: List[Tuple[str, Expr, Expr]]):
+        self.expr = expr
+        #: list of (rule name, before, after) in application order
+        self.applications = applications
+
+    @property
+    def rules_used(self) -> List[str]:
+        return [name for name, _, _ in self.applications]
+
+
+class RewriteEngine:
+    """A rule set + traversal strategy.
+
+    ``require_cost_decrease`` enables the lifting-style termination
+    argument: a rule application whose output does not strictly reduce the
+    target-agnostic cost is rejected (and, with ``strict=True``, reported —
+    useful when validating new rule sets).
+    """
+
+    def __init__(
+        self,
+        rules: Iterable[Rule],
+        require_cost_decrease: bool = False,
+        max_passes: int = 64,
+        cost_fn: Callable[[Expr], Cost] = cost,
+        strategy: str = "bottom_up",
+    ):
+        if strategy not in ("bottom_up", "top_down"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        self.rules = list(rules)
+        self.require_cost_decrease = require_cost_decrease
+        self.max_passes = max_passes
+        self.cost_fn = cost_fn
+        self.strategy = strategy
+        self._index = self._build_index(self.rules)
+
+    @staticmethod
+    def _build_index(rules: List[Rule]) -> Dict[type, List[Rule]]:
+        """Index rules by their pattern's root class for O(1) dispatch.
+
+        Rules whose root is a wildcard (rare) go in the catch-all bucket.
+        """
+        index: Dict[type, List[Rule]] = defaultdict(list)
+        for r in rules:
+            index[type(r.lhs)].append(r)
+        return dict(index)
+
+    def rules_for(self, expr: Expr) -> List[Rule]:
+        return self._index.get(type(expr), [])
+
+    # ------------------------------------------------------------------
+    def rewrite(
+        self, expr: Expr, ctx: Optional[RuleContext] = None
+    ) -> RewriteResult:
+        """Rewrite to a fixed point; returns the result and its trace."""
+        ctx = ctx if ctx is not None else RuleContext()
+        trace: List[Tuple[str, Expr, Expr]] = []
+
+        def apply_at(node: Expr) -> Optional[Expr]:
+            # Greedy: rules are pre-ordered (cheapest output first); the
+            # first applicable rule wins.
+            for rule in self.rules_for(node):
+                out = rule.apply(node, ctx)
+                if out is None:
+                    continue
+                if self.require_cost_decrease and not (
+                    self.cost_fn(out) < self.cost_fn(node)
+                ):
+                    continue
+                trace.append((rule.name, node, out))
+                return out
+            return None
+
+        transform = (
+            transform_bottom_up
+            if self.strategy == "bottom_up"
+            else transform_top_down
+        )
+        current = expr
+        for _ in range(self.max_passes):
+            new = transform(current, apply_at)
+            if new == current:
+                return RewriteResult(current, trace)
+            current = new
+        raise RewriteError(
+            f"rewriting did not converge within {self.max_passes} passes "
+            f"(last: {current})"
+        )
+
+    def rewrite_expr(
+        self, expr: Expr, ctx: Optional[RuleContext] = None
+    ) -> Expr:
+        """Convenience: rewrite and return just the expression."""
+        return self.rewrite(expr, ctx).expr

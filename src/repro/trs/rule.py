@@ -1,0 +1,89 @@
+"""Rewrite rules: pattern -> template, with optional predicate.
+
+A rule mirrors the paper's ``before -> after [predicate]`` format (Figure 4).
+Predicates receive the match and a :class:`RuleContext`, which exposes the
+bounds-inference engine for the predicated rules of §3.3 (e.g.
+``upper_bounded(x_u16, INT16_MAX)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..ir.expr import Expr
+from .matcher import Match, instantiate, match
+
+__all__ = ["Rule", "RuleContext"]
+
+
+class RuleContext:
+    """Compile-time facts available to rule predicates.
+
+    The base context proves nothing; the rewriting passes substitute a
+    context backed by interval analysis (:mod:`repro.analysis`).  Keeping
+    the interface tiny (two bounds queries) mirrors the paper: "the most
+    powerful [predicates] that PITCHFORK offers are bounds-related queries".
+    """
+
+    def upper_bounded(self, expr: Expr, bound: int) -> bool:
+        """Can we prove ``expr <= bound`` for every lane?"""
+        return False
+
+    def lower_bounded(self, expr: Expr, bound: int) -> bool:
+        """Can we prove ``expr >= bound`` for every lane?"""
+        return False
+
+    def nonzero(self, expr: Expr) -> bool:
+        """Can we prove ``expr != 0`` (or another excluded value)?"""
+        return False
+
+
+@dataclass
+class Rule:
+    """``lhs -> rhs [predicate]``.
+
+    ``source`` records provenance: ``"hand"`` for manually-written rules,
+    or a comma-separated list of ``"synth:<benchmark>"`` tags naming every
+    benchmark whose expressions (re-)taught the rule offline.  §5's
+    leave-one-out protocol drops a rule only when *all* of its sources are
+    excluded — a rule independently learned from another benchmark's
+    expressions survives, which is why Figure 3 still shows synthesized
+    instructions on (leave-one-out-compiled) Sobel.
+    """
+
+    name: str
+    lhs: Expr
+    rhs: Expr
+    predicate: Optional[Callable[[Match, RuleContext], bool]] = None
+    source: str = "hand"
+
+    @property
+    def sources(self) -> frozenset:
+        return frozenset(s.strip() for s in self.source.split(","))
+
+    @property
+    def is_synthesized(self) -> bool:
+        return any(s.startswith("synth:") for s in self.sources)
+
+    def excluded_by(self, excluded_sources) -> bool:
+        """True if every provenance tag is in the excluded set."""
+        excluded = set(excluded_sources)
+        return bool(excluded) and self.sources <= excluded
+
+    def apply(
+        self, expr: Expr, ctx: Optional[RuleContext] = None
+    ) -> Optional[Expr]:
+        """Rewrite ``expr`` at the root, or None if the rule doesn't fire."""
+        m = match(self.lhs, expr)
+        if m is None:
+            return None
+        m.root = expr
+        if self.predicate is not None:
+            if not self.predicate(m, ctx if ctx is not None else RuleContext()):
+                return None
+        return instantiate(self.rhs, m)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        pred = " [predicated]" if self.predicate else ""
+        return f"<Rule {self.name}: {self.lhs} -> {self.rhs}{pred}>"

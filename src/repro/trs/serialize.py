@@ -1,0 +1,415 @@
+"""S-expression serialization for expressions, patterns and rules.
+
+The paper's synthesized rules are artifacts: produced offline, reviewed,
+and checked into the compiler.  This module gives those artifacts a
+stable text form::
+
+    (rule synth-add-0
+      :source "synth:add"
+      :lhs (shl (cast (signed (widen T)) (wild x T)) (constwild c0 (signed (widen T))))
+      :rhs (reinterpret (signed (widen T)) (widening_shl (wild x T) (pconst T (ref c0))))
+      :where (range c0 1 255))
+
+Computed right-hand-side constants serialize as a tiny arithmetic
+expression language over matched constants (``(ref c)``, ``(log2 (ref c))``,
+``(shl 1 (ref c))``, ...); predicate serialization covers the two forms
+the synthesizer emits (constant ranges and power-of-two requirements) —
+hand-written Python predicates are marked ``:opaque`` and round-trip as
+unverifiable placeholders, which load as always-false (safe) unless the
+loader is told to trust them.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from ..fpir.ops import FPIR_OPS, FPIRInstr
+from ..ir import expr as E
+from ..ir.types import ScalarType, type_from_code
+from .pattern import (
+    ConstWild,
+    PConst,
+    TNarrow,
+    TVar,
+    TWiden,
+    TWithSign,
+    TypePattern,
+    Wild,
+)
+from .rule import Rule
+
+__all__ = [
+    "dump_expr",
+    "load_expr",
+    "dump_rule",
+    "load_rule",
+    "dump_rules",
+    "load_rules",
+    "SerializationError",
+]
+
+
+class SerializationError(ValueError):
+    """Malformed rule text or unsupported construct."""
+
+
+_CORE_OPS: Dict[str, type] = {
+    "add": E.Add, "sub": E.Sub, "mul": E.Mul, "div": E.Div,
+    "mod": E.Mod, "min": E.Min, "max": E.Max, "shl": E.Shl,
+    "shr": E.Shr, "and": E.BitAnd, "or": E.BitOr, "xor": E.BitXor,
+    "lt": E.LT, "le": E.LE, "gt": E.GT, "ge": E.GE, "eq": E.EQ,
+    "ne": E.NE, "neg": E.Neg, "not": E.Not, "select": E.Select,
+}
+_CORE_NAMES = {v: k for k, v in _CORE_OPS.items()}
+
+
+# ----------------------------------------------------------------------
+# Types
+# ----------------------------------------------------------------------
+def _dump_type(t: Union[ScalarType, TypePattern]) -> str:
+    if isinstance(t, ScalarType):
+        return t.code
+    if isinstance(t, TVar):
+        parts = [t.name]
+        if t.signed is not None:
+            parts.append(":signed" if t.signed else ":unsigned")
+        if (t.min_bits, t.max_bits) != (8, 64):
+            parts.append(f":bits {t.min_bits} {t.max_bits}")
+        if len(parts) == 1:
+            return t.name
+        return "(tvar " + " ".join(parts) + ")"
+    if isinstance(t, TWiden):
+        return f"(widen {_dump_type(t.inner)})"
+    if isinstance(t, TNarrow):
+        return f"(narrow {_dump_type(t.inner)})"
+    if isinstance(t, TWithSign):
+        tag = "signed" if t.signed else "unsigned"
+        return f"({tag} {_dump_type(t.inner)})"
+    raise SerializationError(f"cannot serialize type {t!r}")
+
+
+def _load_type(sexp) -> Union[ScalarType, TypePattern]:
+    if isinstance(sexp, str):
+        try:
+            return type_from_code(sexp)
+        except ValueError:
+            return TVar(sexp)
+    head, *rest = sexp
+    if head == "tvar":
+        name = rest[0]
+        signed = None
+        min_bits, max_bits = 8, 64
+        i = 1
+        while i < len(rest):
+            if rest[i] == ":signed":
+                signed = True
+                i += 1
+            elif rest[i] == ":unsigned":
+                signed = False
+                i += 1
+            elif rest[i] == ":bits":
+                min_bits, max_bits = int(rest[i + 1]), int(rest[i + 2])
+                i += 3
+            else:
+                raise SerializationError(f"bad tvar attr {rest[i]!r}")
+        return TVar(name, signed=signed, min_bits=min_bits,
+                    max_bits=max_bits)
+    if head == "widen":
+        return TWiden(_load_type(rest[0]))
+    if head == "narrow":
+        return TNarrow(_load_type(rest[0]))
+    if head in ("signed", "unsigned"):
+        return TWithSign(_load_type(rest[0]), head == "signed")
+    raise SerializationError(f"bad type form {head!r}")
+
+
+# ----------------------------------------------------------------------
+# Computed constants (RHS PConst value language)
+# ----------------------------------------------------------------------
+def _dump_const_fn(value) -> Optional[str]:
+    """Recognize the standard synthesized-constant shapes by probing."""
+    if isinstance(value, int):
+        return str(value)
+    if not callable(value):
+        return None
+    # probe with distinctive values to identify the relation and its
+    # source constant name
+    probes = {"c0": 16, "c1": 23, "c2": 37, "c": 16, "r": 23, "hi": 37,
+              "lo": 41, "m": 43}
+    try:
+        base = value(dict(probes))
+    except Exception:
+        return None
+    for name, v in probes.items():
+        if base == v:
+            return f"(ref {name})"
+        if base == v.bit_length() - 1:
+            return f"(log2 (ref {name}))"
+        if base == (1 << v):
+            return f"(shl 1 (ref {name}))"
+        if base == v - 1:
+            return f"(sub (ref {name}) 1)"
+        if base == v + 1:
+            return f"(add (ref {name}) 1)"
+        if base == (1 << (v - 1)):
+            return f"(shl 1 (sub (ref {name}) 1))"
+    return None
+
+
+def _load_const_fn(sexp) -> Union[int, Callable]:
+    if isinstance(sexp, str):
+        return int(sexp)
+    head, *rest = sexp
+
+    def ev(node, env):
+        if isinstance(node, str):
+            return int(node)
+        h, *r = node
+        if h == "ref":
+            return env[r[0]]
+        if h == "log2":
+            return ev(r[0], env).bit_length() - 1
+        if h == "shl":
+            return ev(r[0], env) << ev(r[1], env)
+        if h == "add":
+            return ev(r[0], env) + ev(r[1], env)
+        if h == "sub":
+            return ev(r[0], env) - ev(r[1], env)
+        raise SerializationError(f"bad const fn {h!r}")
+
+    return lambda consts, _s=sexp: ev(_s, consts)
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+def dump_expr(e: E.Expr) -> str:
+    """Serialize an expression or pattern tree to an s-expression."""
+    if isinstance(e, ConstWild):
+        return f"(constwild {e.name} {_dump_type(e.type_pattern)})"
+    if isinstance(e, Wild):
+        return f"(wild {e.name} {_dump_type(e.type_pattern)})"
+    if isinstance(e, PConst):
+        body = _dump_const_fn(e.value)
+        if body is None:
+            raise SerializationError(
+                "PConst value is not in the serializable relation language"
+            )
+        return f"(pconst {_dump_type(e.type_pattern)} {body})"
+    if isinstance(e, E.Const):
+        return f"(const {_dump_type(e.type)} {e.value})"
+    if isinstance(e, E.Var):
+        return f"(var {e.name} {_dump_type(e.type)})"
+    if isinstance(e, E.Cast):
+        return f"(cast {_dump_type(e.to)} {dump_expr(e.value)})"
+    if isinstance(e, E.Reinterpret):
+        return f"(reinterpret {_dump_type(e.to)} {dump_expr(e.value)})"
+    if isinstance(e, FPIRInstr):
+        args = []
+        for f in e._fields:
+            v = getattr(e, f)
+            if isinstance(v, E.Expr):
+                args.append(dump_expr(v))
+            else:
+                args.append(_dump_type(v))
+        return f"({e.name} " + " ".join(args) + ")"
+    name = _CORE_NAMES.get(type(e))
+    if name is not None:
+        args = " ".join(dump_expr(c) for c in e.children)
+        return f"({name} {args})"
+    raise SerializationError(f"cannot serialize {type(e).__name__}")
+
+
+def load_expr(text_or_sexp) -> E.Expr:
+    """Parse an expression/pattern from its s-expression form."""
+    sexp = (
+        _parse(text_or_sexp)
+        if isinstance(text_or_sexp, str)
+        else text_or_sexp
+    )
+    return _build_expr(sexp)
+
+
+def _build_expr(sexp) -> E.Expr:
+    if isinstance(sexp, str):
+        raise SerializationError(f"bare atom is not an expression: {sexp!r}")
+    head, *rest = sexp
+    if head == "wild":
+        return Wild(rest[0], _load_type(rest[1]))
+    if head == "constwild":
+        return ConstWild(rest[0], _load_type(rest[1]))
+    if head == "pconst":
+        return PConst(_load_type(rest[0]), _load_const_fn(rest[1]))
+    if head == "const":
+        return E.Const(_load_type(rest[0]), int(rest[1]))
+    if head == "var":
+        return E.Var(_load_type(rest[1]), rest[0])
+    if head == "cast":
+        return E.Cast(_load_type(rest[0]), _build_expr(rest[1]))
+    if head == "reinterpret":
+        return E.Reinterpret(_load_type(rest[0]), _build_expr(rest[1]))
+    if head in FPIR_OPS:
+        cls = FPIR_OPS[head]
+        if head == "saturating_cast":
+            return cls(_load_type(rest[0]), _build_expr(rest[1]))
+        return cls(*(_build_expr(r) for r in rest))
+    if head in _CORE_OPS:
+        return _CORE_OPS[head](*(_build_expr(r) for r in rest))
+    raise SerializationError(f"unknown operator {head!r}")
+
+
+# ----------------------------------------------------------------------
+# Rules
+# ----------------------------------------------------------------------
+def dump_rule(rule: Rule) -> str:
+    """Serialize a rule; non-serializable predicates become :opaque."""
+    parts = [f"(rule {rule.name}"]
+    if rule.source != "hand":
+        parts.append(f'  :source "{rule.source}"')
+    parts.append(f"  :lhs {dump_expr(rule.lhs)}")
+    parts.append(f"  :rhs {dump_expr(rule.rhs)}")
+    if rule.predicate is not None:
+        ranges = getattr(rule.predicate, "_serializable_ranges", None)
+        pow2s = getattr(rule.predicate, "_serializable_pow2", None)
+        if ranges is not None:
+            clauses = [
+                f"(range {n} {lo} {hi})" for n, (lo, hi) in ranges.items()
+            ]
+            clauses += [f"(pow2 {n})" for n in (pow2s or ())]
+            parts.append("  :where " + " ".join(clauses))
+        else:
+            parts.append("  :opaque-predicate true")
+    parts.append(")")
+    return "\n".join(parts)
+
+
+def load_rule(text_or_sexp) -> Rule:
+    """Parse one (rule ...) form back into a Rule."""
+    sexp = (
+        _parse(text_or_sexp)
+        if isinstance(text_or_sexp, str)
+        else text_or_sexp
+    )
+    if sexp[0] != "rule":
+        raise SerializationError("expected (rule ...)")
+    name = sexp[1]
+    attrs: Dict[str, list] = {}
+    i = 2
+    while i < len(sexp):
+        key = sexp[i]
+        if not isinstance(key, str) or not key.startswith(":"):
+            raise SerializationError(f"expected attribute key, got {key!r}")
+        # :where may take multiple clause forms
+        vals = []
+        i += 1
+        while i < len(sexp) and not (
+            isinstance(sexp[i], str) and sexp[i].startswith(":")
+        ):
+            vals.append(sexp[i])
+            i += 1
+        attrs[key] = vals
+    lhs = _build_expr(attrs[":lhs"][0])
+    rhs = _build_expr(attrs[":rhs"][0])
+    source = attrs.get(":source", ['"hand"'])[0].strip('"')
+    predicate = None
+    if ":where" in attrs:
+        predicate = _build_range_predicate(attrs[":where"])
+    elif ":opaque-predicate" in attrs:
+        def predicate(m, ctx):  # noqa: E306 - safe default
+            return False
+
+    return Rule(name, lhs, rhs, predicate=predicate, source=source)
+
+
+def make_range_predicate(
+    ranges: Dict[str, Tuple[int, int]], pow2: Tuple[str, ...] = ()
+) -> Callable:
+    """Build a serializable constant-range predicate (the synthesizer's
+    output format)."""
+
+    def pred(m, ctx):
+        for cname, (lo, hi) in ranges.items():
+            v = m.consts[cname]
+            if not (lo <= v <= hi):
+                return False
+        for cname in pow2:
+            v = m.consts[cname]
+            if v <= 0 or (v & (v - 1)):
+                return False
+        return True
+
+    pred._serializable_ranges = dict(ranges)
+    pred._serializable_pow2 = tuple(pow2)
+    return pred
+
+
+def _build_range_predicate(clauses) -> Callable:
+    ranges: Dict[str, Tuple[int, int]] = {}
+    pow2: List[str] = []
+    for clause in clauses:
+        head, *rest = clause
+        if head == "range":
+            ranges[rest[0]] = (int(rest[1]), int(rest[2]))
+        elif head == "pow2":
+            pow2.append(rest[0])
+        else:
+            raise SerializationError(f"unknown predicate clause {head!r}")
+    return make_range_predicate(ranges, tuple(pow2))
+
+
+def dump_rules(rules: List[Rule]) -> str:
+    """Serialize a rule list to a rule-file string."""
+    return "\n\n".join(dump_rule(r) for r in rules) + "\n"
+
+
+def load_rules(text: str) -> List[Rule]:
+    """Parse every rule in a rule-file string."""
+    out = []
+    for sexp in _parse_many(text):
+        out.append(load_rule(sexp))
+    return out
+
+
+# ----------------------------------------------------------------------
+# S-expression reader
+# ----------------------------------------------------------------------
+_TOKEN = re.compile(r'"[^"]*"|[()]|[^\s()]+')
+
+
+def _tokenize(text: str) -> List[str]:
+    # strip ;-comments
+    lines = [ln.split(";", 1)[0] for ln in text.splitlines()]
+    return _TOKEN.findall("\n".join(lines))
+
+
+def _read(tokens: List[str], pos: int):
+    tok = tokens[pos]
+    if tok == "(":
+        out = []
+        pos += 1
+        while tokens[pos] != ")":
+            node, pos = _read(tokens, pos)
+            out.append(node)
+        return out, pos + 1
+    if tok == ")":
+        raise SerializationError("unexpected ')'")
+    return tok, pos + 1
+
+
+def _parse(text: str):
+    tokens = _tokenize(text)
+    if not tokens:
+        raise SerializationError("empty input")
+    node, pos = _read(tokens, 0)
+    if pos != len(tokens):
+        raise SerializationError("trailing tokens")
+    return node
+
+
+def _parse_many(text: str):
+    tokens = _tokenize(text)
+    pos = 0
+    while pos < len(tokens):
+        node, pos = _read(tokens, pos)
+        yield node

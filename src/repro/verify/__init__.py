@@ -1,0 +1,7 @@
+"""Bounded verification of rewrite rules (the §2.4 machinery)."""
+
+from .rule_verifier import (  # noqa: F401
+    VerificationReport,
+    verify_equivalence,
+    verify_rule,
+)

@@ -1,0 +1,400 @@
+"""Bounded verification of rewrite rules (§2.4 "Verifying Hand-Written
+Rules", with Z3 replaced by exhaustive/boundary/randomized checking).
+
+A rule ``lhs -> rhs [predicate]`` is *verified* by:
+
+1. enumerating every concrete type assignment its type variables admit;
+2. for each assignment, instantiating both sides over fresh input
+   variables and sampled constants (boundary values, powers of two, and
+   random values — constants failing the predicate are skipped, since a
+   predicated rule only claims correctness when the predicate holds);
+3. checking, lane by lane, that both sides evaluate identically on a
+   boundary-biased input grid (full cross product of per-variable sample
+   sets) — and that the two sides have the same static type.
+
+This is the "small-world" substitute for the paper's Rosette/Z3 pipeline:
+the same class of bugs the paper reports finding (missing constant-range
+predicates, semantics that don't match documentation) produce concrete
+counterexamples here.  See DESIGN.md §1 for the substitution rationale.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..analysis import BoundsAnalyzer, BoundsContext, Interval
+from ..interp import EvalError, evaluate
+from ..ir.expr import Const, Expr, Var
+from ..ir.types import ARITH_TYPES, ScalarType
+from ..trs.matcher import Match, instantiate
+from ..trs.pattern import (
+    ConstWild,
+    PConst,
+    TNarrow,
+    TVar,
+    TWiden,
+    TWithSign,
+    TypePattern,
+    Wild,
+    resolve_type,
+)
+from ..trs.rule import Rule
+
+__all__ = ["VerificationReport", "verify_rule", "verify_equivalence"]
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of verifying one rule."""
+
+    rule_name: str
+    ok: bool
+    checked_combos: int
+    checked_points: int
+    counterexample: Optional[dict] = None
+    notes: List[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.ok
+
+
+# ----------------------------------------------------------------------
+# Pattern introspection
+# ----------------------------------------------------------------------
+def _iter_type_patterns(e: Expr):
+    for node in e.walk():
+        for f in node._fields:
+            v = getattr(node, f)
+            if isinstance(v, (TypePattern, ScalarType)):
+                yield v
+        t = node.type
+        if isinstance(t, TypePattern):
+            yield t
+
+
+def _collect_tvars(e: Expr) -> Dict[str, List[TVar]]:
+    """All TVar occurrences in a pattern, grouped by name."""
+    out: Dict[str, List[TVar]] = {}
+
+    def visit(tp) -> None:
+        if isinstance(tp, TVar):
+            out.setdefault(tp.name, []).append(tp)
+        elif isinstance(tp, (TWiden, TNarrow, TWithSign)):
+            visit(tp.inner)
+
+    for tp in _iter_type_patterns(e):
+        visit(tp)
+    return out
+
+
+def _collect_wilds(e: Expr) -> Tuple[Dict[str, Wild], Dict[str, ConstWild]]:
+    wilds: Dict[str, Wild] = {}
+    consts: Dict[str, ConstWild] = {}
+    for node in e.walk():
+        if isinstance(node, ConstWild):
+            consts.setdefault(node.name, node)
+        elif isinstance(node, Wild):
+            wilds.setdefault(node.name, node)
+    return wilds, consts
+
+
+def _type_assignments(
+    tvars: Dict[str, List[TVar]], limit: int
+) -> Iterable[Dict[str, ScalarType]]:
+    names = sorted(tvars)
+    domains = []
+    for n in names:
+        dom = [
+            t
+            for t in ARITH_TYPES
+            if all(tv.admits(t) for tv in tvars[n])
+        ]
+        domains.append(dom)
+    count = 0
+    for combo in itertools.product(*domains):
+        if count >= limit:
+            return
+        count += 1
+        yield dict(zip(names, combo))
+
+
+def _resolvable(tp, tenv) -> Optional[ScalarType]:
+    try:
+        return resolve_type(tp, tenv)
+    except (KeyError, ValueError):
+        return None
+
+
+# ----------------------------------------------------------------------
+# Sampling
+# ----------------------------------------------------------------------
+def _value_samples(
+    t: ScalarType, rng: random.Random, n_random: int, bounds: Interval
+) -> List[int]:
+    lo = max(t.min_value, bounds.lo)
+    hi = min(t.max_value, bounds.hi)
+    if lo > hi:
+        lo, hi = t.min_value, t.max_value
+    picks = {lo, hi, max(lo, min(hi, 0)), max(lo, min(hi, 1))}
+    if t.signed:
+        picks.add(max(lo, min(hi, -1)))
+    picks.update(
+        max(lo, min(hi, v))
+        for v in (lo + 1, hi - 1, hi // 2)
+    )
+    for _ in range(n_random):
+        picks.add(rng.randint(lo, hi))
+    return sorted(picks)
+
+
+def _const_samples(t: ScalarType, rng: random.Random) -> List[int]:
+    vals = {0, 1, 2, t.max_value, t.min_value}
+    vals.update(1 << k for k in range(0, t.bits) if t.contains(1 << k))
+    vals.update((1 << k) - 1 for k in (4, t.bits - 1) if t.contains((1 << k) - 1))
+    if t.signed:
+        vals.update({-1, -2})
+    # Boundary values of every *other* type that fit: clamp-recognition
+    # predicates need pairs like (lo=-128, hi=127) inside a wider type.
+    for u in ARITH_TYPES:
+        for b in (u.min_value, u.max_value):
+            if t.contains(b):
+                vals.add(b)
+    vals.update(rng.randint(t.min_value, t.max_value) for _ in range(4))
+    return sorted(v for v in vals if t.contains(v))
+
+
+# ----------------------------------------------------------------------
+# Core equivalence check
+# ----------------------------------------------------------------------
+def verify_equivalence(
+    lhs: Expr,
+    rhs: Expr,
+    rng: Optional[random.Random] = None,
+    var_bounds: Optional[Dict[str, Interval]] = None,
+    max_points: int = 4096,
+    n_random: int = 6,
+    bit_exact_type: bool = True,
+) -> Optional[dict]:
+    """Check two *concrete* expressions agree on a boundary-biased grid.
+
+    Returns None if no disagreement is found, else a counterexample dict.
+    The two sides must have equal types unless ``bit_exact_type`` is False
+    (then equal widths and equal wrapped bit patterns are accepted).
+    """
+    rng = rng if rng is not None else random.Random(0)
+    var_bounds = var_bounds or {}
+    tl, tr = lhs.type, rhs.type
+    if bit_exact_type and tl != tr:
+        return {"reason": f"type mismatch: {tl} vs {tr}"}
+    if tl.bits != tr.bits:
+        return {"reason": f"width mismatch: {tl} vs {tr}"}
+
+    variables = sorted(
+        {n for n in lhs.walk() if isinstance(n, Var)}
+        | {n for n in rhs.walk() if isinstance(n, Var)},
+        key=lambda v: v.name,
+    )
+    sample_sets = [
+        _value_samples(
+            v.type,
+            rng,
+            n_random,
+            var_bounds.get(v.name, Interval.of_type(v.type)),
+        )
+        for v in variables
+    ]
+    # Cap the cross product: thin out the per-variable sets if needed.
+    while sample_sets and _product_size(sample_sets) > max_points:
+        largest = max(range(len(sample_sets)), key=lambda i: len(sample_sets[i]))
+        sample_sets[largest] = sample_sets[largest][::2]
+
+    names = [v.name for v in variables]
+    grids = itertools.product(*sample_sets) if variables else [()]
+    for point in grids:
+        env = {n: [v] for n, v in zip(names, point)}
+        try:
+            lv = evaluate(lhs, env, lanes=1)[0]
+            rv = evaluate(rhs, env, lanes=1)[0]
+        except EvalError as exc:
+            return {"reason": f"evaluation error: {exc}", "env": dict(zip(names, point))}
+        if tl != tr:
+            rv = tl.wrap(rv & tl.mask)
+        if lv != rv:
+            return {
+                "env": dict(zip(names, point)),
+                "lhs": lv,
+                "rhs": rv,
+            }
+    return None
+
+
+def _product_size(sets: Sequence[Sequence[int]]) -> int:
+    n = 1
+    for s in sets:
+        n *= len(s)
+    return n
+
+
+# ----------------------------------------------------------------------
+# Rule verification
+# ----------------------------------------------------------------------
+def verify_rule(
+    rule: Rule,
+    seed: int = 0,
+    max_type_combos: int = 32,
+    max_const_samples: int = 12,
+    max_points: int = 2048,
+    forced_consts: Optional[Dict[str, int]] = None,
+) -> VerificationReport:
+    """Verify ``rule`` over every admissible type assignment.
+
+    ``forced_consts`` pins the constant wildcards to specific values
+    (used by the §4.3 generalizer's binary search over constant ranges).
+    """
+    rng = random.Random(seed)
+    tvars = _collect_tvars(rule.lhs)
+    wilds, cwilds = _collect_wilds(rule.lhs)
+
+    combos = 0
+    points = 0
+    any_predicate_pass = False
+
+    for tenv in _type_assignments(tvars, max_type_combos):
+        # Resolve the types of all wildcards; skip assignments that make
+        # some pattern type unresolvable (e.g. narrow of an 8-bit type).
+        wild_types = {}
+        ok = True
+        for name, w in wilds.items():
+            t = _resolvable(w.type_pattern, tenv)
+            if t is None or t.is_bool:
+                ok = False
+                break
+            wild_types[name] = t
+        if not ok:
+            continue
+        cwild_types = {}
+        for name, w in cwilds.items():
+            t = _resolvable(w.type_pattern, tenv)
+            if t is None:
+                ok = False
+                break
+            cwild_types[name] = t
+        if not ok:
+            continue
+
+        env = {name: Var(t, name) for name, t in wild_types.items()}
+
+        # Predicated rules may need provable bounds on inputs; offer a
+        # restricted range so bounds queries can succeed, plus the full
+        # range for unpredicated rules.
+        hint_sets = [None, _restricted_hints(wild_types)]
+
+        if forced_consts is not None:
+            wanted = {
+                n: forced_consts[n]
+                for n in cwild_types
+                if n in forced_consts
+            }
+            if any(
+                not cwild_types[n].contains(v) for n, v in wanted.items()
+            ):
+                continue  # not representable at this type assignment
+            const_choices = [wanted] if len(wanted) == len(cwild_types) else []
+        else:
+            const_choices = _enumerate_const_choices(
+                cwild_types, rng, max_const_samples
+            )
+        for const_env in const_choices:
+            full_env = dict(env)
+            full_env.update(
+                {
+                    name: Const(cwild_types[name], v)
+                    for name, v in const_env.items()
+                }
+            )
+            for hints in hint_sets:
+                m = Match(env=full_env, tenv=dict(tenv), consts=dict(const_env))
+                try:
+                    lhs_c = instantiate(rule.lhs, m)
+                    m.root = lhs_c
+                except Exception:
+                    break  # ill-typed combination; skip this const set
+                analyzer = BoundsAnalyzer(hints)
+                ctx = BoundsContext(analyzer)
+                if rule.predicate is not None and not rule.predicate(m, ctx):
+                    continue
+                any_predicate_pass = True
+                try:
+                    rhs_c = instantiate(rule.rhs, m)
+                except Exception as exc:
+                    return VerificationReport(
+                        rule.name, False, combos, points,
+                        counterexample={"reason": f"rhs build failed: {exc}",
+                                        "tenv": {k: str(v) for k, v in tenv.items()},
+                                        "consts": const_env},
+                    )
+                cex = verify_equivalence(
+                    lhs_c,
+                    rhs_c,
+                    rng=rng,
+                    var_bounds=hints,
+                    max_points=max_points,
+                )
+                points += 1
+                if cex is not None:
+                    cex["tenv"] = {k: str(v) for k, v in tenv.items()}
+                    cex["consts"] = const_env
+                    return VerificationReport(
+                        rule.name, False, combos, points, counterexample=cex
+                    )
+                break  # verified with this hint level; next const set
+        combos += 1
+
+    notes = []
+    if combos == 0:
+        return VerificationReport(
+            rule.name, False, 0, 0,
+            counterexample={"reason": "no admissible type assignment"},
+        )
+    if not any_predicate_pass and rule.predicate is not None:
+        notes.append("predicate never satisfied by sampled constants")
+        return VerificationReport(
+            rule.name, False, combos, points,
+            counterexample={"reason": notes[0]},
+        )
+    return VerificationReport(rule.name, True, combos, points, notes=notes)
+
+
+def _restricted_hints(wild_types: Dict[str, ScalarType]) -> Dict[str, Interval]:
+    """Quarter-range hints so overflow-freedom predicates can be proven."""
+    hints = {}
+    for name, t in wild_types.items():
+        span = (t.max_value - t.min_value) // 4
+        lo = 0 if not t.signed else -(span // 2)
+        hints[name] = Interval(lo, lo + span)
+    return hints
+
+
+def _enumerate_const_choices(
+    cwild_types: Dict[str, ScalarType],
+    rng: random.Random,
+    cap: int,
+) -> List[Dict[str, int]]:
+    if not cwild_types:
+        return [{}]
+    names = sorted(cwild_types)
+    domains = [_const_samples(cwild_types[n], rng) for n in names]
+    all_choices = list(itertools.product(*domains))
+    # Predicate checks are cheap, so keep the whole cross product when it
+    # is small (predicates like the clamp-bounds one are satisfied by very
+    # few aligned pairs); otherwise mix a deterministic head with a random
+    # sample of the rest.
+    if len(all_choices) > 512:
+        head = all_choices[: cap * 8]
+        tail = all_choices[cap * 8:]
+        rng.shuffle(tail)
+        all_choices = head + tail[: 512 - len(head)]
+    return [dict(zip(names, c)) for c in all_choices]

@@ -1,0 +1,21 @@
+"""The 16 fixed-point Rake benchmarks (§5)."""
+
+from . import (  # noqa: F401  (registration side effects)
+    add,
+    average_pool,
+    camera_pipe,
+    conv3x3a16,
+    depthwise_conv,
+    fully_connected,
+    gaussian3x3,
+    gaussian5x5,
+    gaussian7x7,
+    l2norm,
+    matmul,
+    max_pool,
+    mean,
+    mul,
+    sobel3x3,
+    softmax,
+)
+from .base import WORKLOADS, Workload, all_workloads, by_name  # noqa: F401

@@ -1,0 +1,29 @@
+"""add — quantized elementwise addition (TFLite ADD kernel shape).
+
+Both uint8 inputs are rescaled to a shared Q6 fixed-point scale, summed,
+rounded back down, and saturated to uint8.  The primitive spelling below is
+what portable Halide code looks like; PITCHFORK lifts it to
+``saturating_narrow(rounding_shr(widening_shl(x,6) + widening_shl(y,6), 6))``
+and fuses it down to 3-4 instructions per target (ushll+umlal+uqrshrn on
+ARM; vmpa + vasr:rnd:sat on HVX).
+"""
+
+from ..ir import builders as h
+from .base import Workload, register
+
+
+@register
+def build() -> Workload:
+    """Construct the add benchmark kernel."""
+    x = h.var("x", h.U8)
+    y = h.var("y", h.U8)
+    q = h.u16(x) << 6
+    r = h.u16(y) << 6
+    sum_ = q + r + 32          # max 32672: no u16 overflow
+    out = h.u8(h.minimum(sum_ >> 6, 255))
+    return Workload(
+        name="add",
+        description="quantized uint8 add with requantization",
+        category="ml",
+        expr=out,
+    )

@@ -1,0 +1,25 @@
+"""average_pool — quantized 2x2 average pooling (round-to-nearest).
+
+``(a + b + c + d + 2) >> 2`` over uint8 taps.  The narrowing cast is exact
+(the average of uint8s fits uint8), which the predicated lowering rules
+prove via bounds inference; on HVX the fused rounding-shift-narrow
+(vasr:rnd:sat) is what the §5.3.2 synthesized rules contribute — its loss
+is the 4.99x hand-written-only regression in Figure 7.
+"""
+
+from ..ir import builders as h
+from .base import Workload, register
+
+
+@register
+def build() -> Workload:
+    """Construct the average_pool benchmark kernel."""
+    a, b, c, d = (h.var(n, h.U8) for n in "abcd")
+    sum_ = (h.u16(a) + h.u16(b)) + (h.u16(c) + h.u16(d)) + 2
+    out = h.u8(sum_ >> 2)
+    return Workload(
+        name="average_pool",
+        description="quantized 2x2 average pooling, round-to-nearest",
+        category="ml",
+        expr=out,
+    )

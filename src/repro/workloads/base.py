@@ -1,0 +1,101 @@
+"""Workload definitions: the 16 fixed-point Rake benchmarks (§5).
+
+Each workload is the innermost vectorized expression of one benchmark —
+exactly what Halide hands to PITCHFORK after scheduling/inlining (§2,
+Figure 2b) — written in *portable primitive integer arithmetic* (plus the
+occasional explicit FPIR instruction, as the Sobel example uses ``absd``).
+
+Shifted spatial taps (``in(x-1)``, ``in(x)``, ``in(x+1)``) appear as
+distinct input vectors, matching Figure 2b's ``a_u8 ... l_u8``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..analysis import Interval
+from ..ir.expr import Expr, Var, free_vars
+
+__all__ = ["Workload", "register", "all_workloads", "by_name", "WORKLOADS"]
+
+
+@dataclass
+class Workload:
+    """One benchmark kernel."""
+
+    name: str
+    description: str
+    category: str  # 'image' | 'ml' | 'vision' | 'arith'
+    expr: Expr
+    #: known input ranges beyond the type range (schedule knowledge);
+    #: most benchmarks use full-range inputs
+    var_bounds: Dict[str, Interval] = field(default_factory=dict)
+
+    @property
+    def inputs(self) -> List[Var]:
+        return list(free_vars(self.expr))
+
+    def random_env(
+        self, lanes: int = 64, seed: int = 0
+    ) -> Dict[str, List[int]]:
+        """Random in-range input vectors for correctness testing."""
+        rng = random.Random(seed)
+        env = {}
+        for v in self.inputs:
+            b = self.var_bounds.get(v.name)
+            lo = b.lo if b else v.type.min_value
+            hi = b.hi if b else v.type.max_value
+            env[v.name] = [rng.randint(lo, hi) for _ in range(lanes)]
+        return env
+
+
+_REGISTRY: Dict[str, Callable[[], Workload]] = {}
+_CACHE: Dict[str, Workload] = {}
+
+
+def register(fn: Callable[[], Workload]) -> Callable[[], Workload]:
+    """Register a module-level ``build()`` function."""
+    wl_name = fn.__module__.rsplit(".", 1)[-1]
+    _REGISTRY[wl_name] = fn
+    return fn
+
+
+def by_name(name: str) -> Workload:
+    """Build (and cache) one benchmark by name."""
+    if name not in _CACHE:
+        try:
+            builder = _REGISTRY[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown workload {name!r}; known: {sorted(_REGISTRY)}"
+            ) from None
+        _CACHE[name] = builder()
+    return _CACHE[name]
+
+
+def all_workloads() -> List[Workload]:
+    """All 16 benchmarks, in the paper's figure order."""
+    return [by_name(n) for n in WORKLOADS]
+
+
+#: Benchmark names in display order (the x-axes of Figures 5-7).
+WORKLOADS = [
+    "add",
+    "average_pool",
+    "camera_pipe",
+    "conv3x3a16",
+    "depthwise_conv",
+    "fully_connected",
+    "gaussian3x3",
+    "gaussian5x5",
+    "gaussian7x7",
+    "l2norm",
+    "matmul",
+    "max_pool",
+    "mean",
+    "mul",
+    "sobel3x3",
+    "softmax",
+]

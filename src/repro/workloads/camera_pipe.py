@@ -1,0 +1,41 @@
+"""camera_pipe — a demosaic/sharpen slice of a camera frontend.
+
+Black-level subtraction and white-balance (plain integer stages), green
+interpolation with round-to-nearest averages (vpavgb / urhadd / vavg:rnd),
+local detail via absolute difference, and a saturating add back into uint8
+— the §5.1.2-§5.1.3 idiom mix credited for camera_pipe's speedup, embedded
+in the ordinary arithmetic a real camera pipeline carries around it.
+"""
+
+from ..ir import builders as h
+from .base import Workload, register
+
+_BLACK = 16
+
+
+def _black_level(x):
+    """Plain stage: max(x, black) - black."""
+    return h.maximum(x, _BLACK) - _BLACK
+
+
+@register
+def build() -> Workload:
+    """Construct the camera_pipe benchmark kernel."""
+    a, b, c, d, e = (h.var(n, h.U8) for n in "abcde")
+    # black level (plain ops, same for every compiler)
+    a0, b0, c0, d0, e0 = (_black_level(v) for v in (a, b, c, d, e))
+    # white balance the luma tap: x * 1.25 in Q8 (plain mul/shift in u16)
+    wb = h.u16(e0) * 320 >> 8
+    # interpolate the two green channels (round-to-nearest averages)
+    g1 = h.u8((h.u16(a0) + h.u16(b0) + 1) >> 1)
+    g2 = h.u8((h.u16(c0) + h.u16(d0) + 1) >> 1)
+    # local detail: |g1 - g2| via the max-min spelling
+    detail = h.maximum(g1, g2) - h.minimum(g1, g2)
+    # sharpen the white-balanced luma by the detail, saturating
+    out = h.u8(h.minimum(wb + h.u16(detail), 255))
+    return Workload(
+        name="camera_pipe",
+        description="black-level + WB + demosaic interp + sharpening",
+        category="image",
+        expr=out,
+    )

@@ -1,0 +1,34 @@
+"""conv3x3a16 — 3x3 convolution with 16-bit data, 32-bit accumulator.
+
+Signed 16-bit taps (10-bit sensor data widened upstream) times signed
+16-bit coefficients, accumulated pairwise in 32 bits — the shape the
+dot-product instruction classes accelerate (vpmaddwd on x86, vdmpy on HVX,
+smlal chains on ARM) — then rounded, shifted and saturated back to uint8.
+"""
+
+from ..analysis import Interval
+from ..ir import builders as h
+from .base import Workload, register
+
+_COEFFS = [-1, 2, -1, 2, 12, 2, -1, 2, -1]  # sharpening kernel, sum 16
+
+
+@register
+def build() -> Workload:
+    """Construct the conv3x3a16 benchmark kernel."""
+    taps = [h.var(f"t{i}", h.I16) for i in range(9)]
+    ws = [h.var(f"w{i}", h.I16) for i in range(9)]
+    acc = None
+    for t, w in zip(taps, ws):
+        prod = h.i32(t) * h.i32(w)
+        acc = prod if acc is None else acc + prod
+    out = h.u8(h.clamp((acc + 64) >> 7, 0, 255))
+    bounds = {f"t{i}": Interval(0, 1023) for i in range(9)}
+    bounds.update({f"w{i}": Interval(-32, 32) for i in range(9)})
+    return Workload(
+        name="conv3x3a16",
+        description="3x3 conv, i16 data x i16 coeffs, i32 accumulator",
+        category="image",
+        expr=out,
+        var_bounds=bounds,
+    )

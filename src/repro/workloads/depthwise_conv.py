@@ -1,0 +1,41 @@
+"""depthwise_conv — quantized 3-tap depthwise convolution + requantization.
+
+The accumulator path is uint8 x uint8 -> uint32 (the vrmpy/udot class);
+the requantization is the TFLite fixed-point multiplier:
+``(i64(acc) * i64(m) + 2^30) >> 31`` saturated to int32 — which needs
+64-bit intermediates when written in primitive arithmetic, the §5.1 case
+HVX/LLVM cannot compile.  PITCHFORK lifts it to
+``rounding_mul_shr(acc, m, 31)`` and stays in 32 bits.
+"""
+
+from ..analysis import Interval
+from ..ir import builders as h
+from .base import Workload, register
+
+
+@register
+def build() -> Workload:
+    """Construct the depthwise_conv benchmark kernel."""
+    taps = [h.var(f"x{i}", h.U8) for i in range(3)]
+    weights = [h.var(f"w{i}", h.U8) for i in range(3)]
+    acc = None
+    for t, w in zip(taps, weights):
+        prod = h.u32(h.u16(t) * h.u16(w))
+        acc = prod if acc is None else acc + prod
+    acc_i = h.i32(acc + h.u32(h.var("bias", h.U16)))
+    m = h.var("m", h.I32)
+    requant = h.i32(
+        h.clamp(
+            (h.i64(acc_i) * h.i64(m) + (1 << 30)) >> 31,
+            -(1 << 31),
+            (1 << 31) - 1,
+        )
+    )
+    out = h.u8(h.clamp((requant + 32) >> 6, 0, 255))
+    return Workload(
+        name="depthwise_conv",
+        description="quantized 3-tap depthwise conv + q31 requantization",
+        category="ml",
+        expr=out,
+        var_bounds={"m": Interval(1 << 29, (1 << 31) - 1)},
+    )

@@ -1,0 +1,41 @@
+"""fully_connected — quantized fully-connected layer inner kernel.
+
+Four int16 products accumulated pairwise in int32 with a bias (vpmaddwd /
+vdmpy / smlal), saturating-narrowed to int16, scaled by a Q16 multiplier
+through ``mul_shr(x, scale, 16)`` (vpmulhw on x86, §3.3's specific-constant
+class), then passed through a plain ReLU-6 clamp and zero-point shift.
+"""
+
+from ..analysis import Interval
+from ..ir import builders as h
+from .base import Workload, register
+
+
+@register
+def build() -> Workload:
+    """Construct the fully_connected benchmark kernel."""
+    acts = [h.var(f"a{i}", h.I16) for i in range(4)]
+    weights = [h.var(f"w{i}", h.I16) for i in range(4)]
+    bias = h.var("bias", h.I32)
+    prods = [h.i32(a) * h.i32(w) for a, w in zip(acts, weights)]
+    # pairwise accumulation: the shape vpmaddwd/vdmpy accelerate
+    acc = (prods[0] + prods[1]) + (prods[2] + prods[3]) + bias
+    s16 = h.i16(h.clamp(acc, -32768, 32767))
+    scale = h.var("scale", h.I16)
+    scaled = h.i16(
+        h.clamp((h.i32(s16) * h.i32(scale)) >> 16, -32768, 32767)
+    )
+    # plain epilogue: zero-point shift and ReLU6 window (same on every
+    # compiler)
+    zp = h.var("zp", h.I16)
+    out = h.clamp(scaled + zp, 0, 1536)
+    return Workload(
+        name="fully_connected",
+        description="quantized FC kernel: i16 dots + vpmulhw requant + relu6",
+        category="ml",
+        expr=out,
+        var_bounds={
+            "bias": Interval(-(1 << 20), 1 << 20),
+            "zp": Interval(-128, 127),
+        },
+    )

@@ -1,0 +1,29 @@
+"""gaussian3x3 — 3x3 binomial blur with round-to-nearest normalization.
+
+Weights [[1,2,1],[2,4,2],[1,2,1]] / 16.  The final ``u8((sum + 8) >> 4)``
+narrowing is exact (the weighted mean of uint8s fits uint8), which the
+predicated rshrn/vasr rules must *prove* via bounds inference — the
+§5.3.1 "shift-right-narrow patterns that use bounds-inference-derived
+predicates" story.
+"""
+
+from ..ir import builders as h
+from .base import Workload, register
+
+
+@register
+def build() -> Workload:
+    """Construct the gaussian3x3 benchmark kernel."""
+    t = [h.var(f"t{i}", h.U8) for i in range(9)]
+    w = [1, 2, 1, 2, 4, 2, 1, 2, 1]
+    sum_ = None
+    for tap, weight in zip(t, w):
+        term = h.u16(tap) if weight == 1 else h.u16(tap) * weight
+        sum_ = term if sum_ is None else sum_ + term
+    out = h.u8((sum_ + 8) >> 4)
+    return Workload(
+        name="gaussian3x3",
+        description="3x3 binomial blur, rounded normalization",
+        category="image",
+        expr=out,
+    )

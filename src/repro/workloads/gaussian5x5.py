@@ -1,0 +1,28 @@
+"""gaussian5x5 — separable 5-tap binomial blur (vertical pass).
+
+Weights [1, 4, 6, 4, 1] / 16.  The weight 6 is not a power of two, so the
+multiply only lifts to ``widening_mul(tap, 6)`` through the synthesized
+constant-multiplier rule (§5.3); the powers of two lift to widening shifts
+through the hand rules.
+"""
+
+from ..ir import builders as h
+from .base import Workload, register
+
+
+@register
+def build() -> Workload:
+    """Construct the gaussian5x5 benchmark kernel."""
+    t = [h.var(f"t{i}", h.U8) for i in range(5)]
+    w = [1, 4, 6, 4, 1]
+    sum_ = None
+    for tap, weight in zip(t, w):
+        term = h.u16(tap) if weight == 1 else h.u16(tap) * weight
+        sum_ = term if sum_ is None else sum_ + term
+    out = h.u8((sum_ + 8) >> 4)
+    return Workload(
+        name="gaussian5x5",
+        description="5-tap binomial blur column pass",
+        category="image",
+        expr=out,
+    )

@@ -1,0 +1,29 @@
+"""gaussian7x7 — separable 7-tap binomial blur (vertical pass).
+
+Weights [1, 6, 15, 20, 15, 6, 1] / 64: three distinct non-power-of-two
+multipliers.  On ARM the synthesized constant-multiplier rules feed the
+widening-MAC fusions (§5.3.1); on HVX the same rules route through the
+pair-ordered vmpy, whose swizzle overhead is the §5.3.2 regression
+mechanism.
+"""
+
+from ..ir import builders as h
+from .base import Workload, register
+
+
+@register
+def build() -> Workload:
+    """Construct the gaussian7x7 benchmark kernel."""
+    t = [h.var(f"t{i}", h.U8) for i in range(7)]
+    w = [1, 6, 15, 20, 15, 6, 1]
+    sum_ = None
+    for tap, weight in zip(t, w):
+        term = h.u16(tap) if weight == 1 else h.u16(tap) * weight
+        sum_ = term if sum_ is None else sum_ + term
+    out = h.u8((sum_ + 32) >> 6)
+    return Workload(
+        name="gaussian7x7",
+        description="7-tap binomial blur column pass",
+        category="image",
+        expr=out,
+    )

@@ -1,0 +1,42 @@
+"""l2norm — L2 normalization of a quantized vector.
+
+Sum of four squares (uint8 x itself: the dot-product-with-self pattern)
+drives the reciprocal-square-root scale factor computed upstream; each
+element is then scaled by ``rounding_mul_shr(x, rsqrt, 15)`` — the
+sqrdmulh / vpmulhrsw / vmpy:rnd:sat instruction on all three targets —
+and saturated to uint8.
+"""
+
+from ..analysis import Interval
+from ..ir import builders as h
+from .base import Workload, register
+
+
+@register
+def build() -> Workload:
+    """Construct the l2norm benchmark kernel."""
+    # sum of squares (feeds the rsqrt lookup; kept in the kernel so the
+    # dot-product accumulate pattern is exercised)
+    ss = h.u32(h.var("ss0", h.U16))
+    for i in range(4):
+        x = h.var(f"x{i}", h.U8)
+        ss = ss + h.u32(h.u16(x) * h.u16(x))
+    # elementwise scale by the Q15 reciprocal sqrt
+    x = h.var("x", h.I16)
+    r = h.var("rsqrt", h.I16)
+    scaled = h.i16(
+        h.clamp((h.i32(x) * h.i32(r) + (1 << 14)) >> 15, -32768, 32767)
+    )
+    # fold the (otherwise dead) sum-of-squares in as a bias term the way
+    # the scheduled pipeline consumes it, then saturate to u8
+    out = h.u8(h.clamp(h.i32(scaled) + h.i32(ss % 4), 0, 255))
+    return Workload(
+        name="l2norm",
+        description="L2 normalization: sum-of-squares + q15 rsqrt scale",
+        category="ml",
+        expr=out,
+        var_bounds={
+            "x": Interval(0, 255),
+            "rsqrt": Interval(0, 32767),
+        },
+    )

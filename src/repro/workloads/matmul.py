@@ -1,0 +1,39 @@
+"""matmul — quantized 8-bit matrix-multiply inner kernel (k unrolled by 4).
+
+Four uint8 x uint8 products accumulate into uint32 (the udot / vrmpy
+pattern), then the q31 fixed-point requantization brings the result back
+to uint8.  Like depthwise_conv and mul, the primitive spelling needs
+64-bit intermediates (§5.1).  On HVX this benchmark is also where Rake's
+swizzle co-optimization gives it its largest lead over PITCHFORK (§5.1).
+"""
+
+from ..analysis import Interval
+from ..ir import builders as h
+from .base import Workload, register
+
+
+@register
+def build() -> Workload:
+    """Construct the matmul benchmark kernel."""
+    acc = h.u32(h.var("acc0", h.U16))  # running accumulator, pre-widened
+    for i in range(4):
+        a = h.var(f"a{i}", h.U8)
+        b = h.var(f"b{i}", h.U8)
+        acc = acc + h.u32(h.u16(a) * h.u16(b))
+    m = h.var("m", h.I32)
+    acc_i = h.i32(acc)
+    requant = h.i32(
+        h.clamp(
+            (h.i64(acc_i) * h.i64(m) + (1 << 30)) >> 31,
+            -(1 << 31),
+            (1 << 31) - 1,
+        )
+    )
+    out = h.u8(h.clamp((requant + 128) >> 8, 0, 255))
+    return Workload(
+        name="matmul",
+        description="quantized u8 matmul inner kernel + q31 requantization",
+        category="ml",
+        expr=out,
+        var_bounds={"m": Interval(1 << 29, (1 << 31) - 1)},
+    )

@@ -1,0 +1,27 @@
+"""max_pool — quantized 2x2 max pooling.
+
+Spelled with selects, as portable code often is; both PITCHFORK's lifter
+and LLVM's mid-end recognize select(a > b, a, b) as max, so this benchmark
+is near parity across compilers (its Figure 5 bars sit close to 1x).
+"""
+
+from ..ir import builders as h
+from ..ir import expr as E
+from .base import Workload, register
+
+
+def _vmax(a, b):
+    return E.Select(E.GT(a, b), a, b)
+
+
+@register
+def build() -> Workload:
+    """Construct the max_pool benchmark kernel."""
+    a, b, c, d = (h.var(n, h.U8) for n in "abcd")
+    out = _vmax(_vmax(a, b), _vmax(c, d))
+    return Workload(
+        name="max_pool",
+        description="quantized 2x2 max pooling via selects",
+        category="ml",
+        expr=out,
+    )

@@ -1,0 +1,25 @@
+"""mean — rounded mean over an 8-element window.
+
+``(sum + 4) / 8`` with the division written as a division (canonicalization
+strength-reduces the floor division by a power of two to a shift before
+lifting; rounding then fuses into a single rounding-shift-narrow).
+"""
+
+from ..ir import builders as h
+from .base import Workload, register
+
+
+@register
+def build() -> Workload:
+    """Construct the mean benchmark kernel."""
+    taps = [h.var(f"t{i}", h.U8) for i in range(8)]
+    sum_ = h.u16(taps[0]) + h.u16(taps[1])
+    for t in taps[2:]:
+        sum_ = sum_ + h.u16(t)
+    out = h.u8((sum_ + 4) // 8)
+    return Workload(
+        name="mean",
+        description="rounded 8-tap mean reduction",
+        category="image",
+        expr=out,
+    )

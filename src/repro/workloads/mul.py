@@ -1,0 +1,36 @@
+"""mul — Q31 fixed-point multiplication (rounding doubling high multiply).
+
+``rounding_mul_shr(x, y, 31)`` on int32: the primitive spelling
+``i32(clamp((i64(x) * i64(y) + 2^30) >> 31, INT32_MIN, INT32_MAX))``
+requires 64-bit intermediates, which HVX does not support and LLVM fails
+to compile (§5.1); PITCHFORK's lifted form maps to single instructions
+(sqrdmulh on ARM, vmpyo:rnd:sat on HVX) or a 32-bit compound sequence
+(x86).  A plain zero-point epilogue follows, as in the TFLite MUL kernel.
+"""
+
+from ..analysis import Interval
+from ..ir import builders as h
+from .base import Workload, register
+
+
+@register
+def build() -> Workload:
+    """Construct the mul benchmark kernel."""
+    x = h.var("x", h.I32)
+    y = h.var("y", h.I32)
+    prod = h.i32(
+        h.clamp(
+            (h.i64(x) * h.i64(y) + (1 << 30)) >> 31,
+            -(1 << 31),
+            (1 << 31) - 1,
+        )
+    )
+    zp = h.var("zp", h.I32)
+    out = prod + zp
+    return Workload(
+        name="mul",
+        description="Q31 rounding doubling multiply + zero-point epilogue",
+        category="arith",
+        expr=out,
+        var_bounds={"zp": Interval(-65536, 65536)},
+    )

@@ -1,0 +1,34 @@
+"""sobel3x3 — the paper's motivating example (§2.2, Figure 2).
+
+Absolute sum of horizontal and vertical Sobel responses over a 3x3
+neighbourhood, saturated to uint8.  The 12 input vectors a..l are the
+shifted taps exactly as in Figure 2b; ``absd`` is used directly as the
+expert-written FPIR instruction, as in the paper.
+"""
+
+from ..ir import builders as h
+from ..fpir import Absd
+from .base import Workload, register
+
+
+def _kernel(p, q, r):
+    """u16(p) + 2*u16(q) + u16(r) — one Sobel half-kernel."""
+    return h.u16(p) + h.u16(q) * 2 + h.u16(r)
+
+
+@register
+def build() -> Workload:
+    """Construct the sobel3x3 benchmark kernel."""
+    a, b, c, d, e, f, g, i_, j, k, l, m = (
+        h.var(n, h.U8) for n in ["a", "b", "c", "d", "e", "f",
+                                 "g", "i", "j", "k", "l", "m"]
+    )
+    sobel_x = Absd(_kernel(a, b, c), _kernel(d, e, f))
+    sobel_y = Absd(_kernel(g, i_, j), _kernel(k, l, m))
+    out = h.u8(h.minimum(sobel_x + sobel_y, 255))
+    return Workload(
+        name="sobel3x3",
+        description="3x3 Sobel edge magnitude (Figure 2)",
+        category="vision",
+        expr=out,
+    )

@@ -1,0 +1,63 @@
+"""softmax — quantized softmax exponential approximation.
+
+The largest benchmark: max-subtraction preamble, a chain of Q15 polynomial
+steps (1 + x + x^2/2 + x^3/6 in fixed point) built from rounding doubling
+multiplies and saturating adds, a reciprocal-sum scale, and a final
+saturating narrow — plus the plain shifts and clamps of the real kernel.
+Expressed in primitive arithmetic this is a very large tree, which is why
+softmax shows the biggest *compile-time* win in Figure 6 (FPIR is far more
+compact than the primitive spelling).
+"""
+
+from ..ir import builders as h
+from ..analysis import Interval
+from .base import Workload, register
+
+
+def _q15_mul(a, b):
+    """rounding_mul_shr(a, b, 15) spelled in primitive arithmetic."""
+    return h.i16(
+        h.clamp((h.i32(a) * h.i32(b) + (1 << 14)) >> 15, -32768, 32767)
+    )
+
+
+def _sat_add(a, b):
+    return h.i16(h.clamp(h.i32(a) + h.i32(b), -32768, 32767))
+
+
+@register
+def build() -> Workload:
+    """Construct the softmax benchmark kernel."""
+    logit = h.var("logit", h.I16)
+    mx = h.var("mx", h.I16)
+    # plain preamble: x = clamp(logit - max, -2048, 0) in Q11
+    x = h.clamp(logit - mx, -2048, 0)
+    half = h.var("c_half", h.I16)    # 0.5 in Q15
+    sixth = h.var("c_sixth", h.I16)  # 1/6 in Q15
+    x2 = _q15_mul(x, x)
+    term2 = _q15_mul(x2, half)
+    poly = _sat_add(x, term2)
+    one = h.var("c_one", h.I16)      # ~1.0 in Q15 (32767)
+    expx = _sat_add(poly, one)
+    # plain range reduction applied between exp steps (shifts/adds the
+    # fixed-point kernel carries; identical under every compiler)
+    expx = h.maximum(expx - (expx >> 8), 0) + sixth
+    # scale by the reciprocal sum-of-exps (computed upstream)
+    inv_sum = h.var("inv_sum", h.I16)
+    prob = _q15_mul(expx, inv_sum)
+    # plain epilogue: shift down to u8 range and clamp
+    out = h.u8(h.clamp((h.i32(prob) + 64) >> 7, 0, 255))
+    return Workload(
+        name="softmax",
+        description="quantized softmax exp polynomial + normalization",
+        category="ml",
+        expr=out,
+        var_bounds={
+            "logit": Interval(-32768, 32767),
+            "mx": Interval(0, 32767),
+            "c_half": Interval(16384, 16384),
+            "c_sixth": Interval(5461, 5461),
+            "c_one": Interval(32767, 32767),
+            "inv_sum": Interval(0, 32767),
+        },
+    )

@@ -1,0 +1,68 @@
+"""§8.3: targeting relaxed instructions deterministically.
+
+WebAssembly's relaxed ``i16x8.q15mulr_s`` is non-deterministic only for
+``INT16_MIN * INT16_MIN`` (where saturation may or may not apply).
+PITCHFORK "can be matched ... in conjunction with its bounds inference
+machinery to prove that the original code cannot overflow, therefore
+allowing deterministic use of the relaxed instruction ... if either x_i16
+or y_i16 cannot be INT16MIN."
+
+This test reproduces that check: the predicate a relaxed-SIMD backend
+would use, answered by the same bounds engine the §3.3 predicated rules
+use.
+"""
+
+from repro import fpir as F
+from repro.analysis import BoundsAnalyzer, BoundsContext, Interval
+from repro.interp import evaluate_scalar
+from repro.ir import builders as h
+from repro.ir.types import I16
+
+INT16_MIN = -32768
+
+
+def relaxed_q15mulr_usable(node: F.RoundingMulShr, ctx: BoundsContext) -> bool:
+    """True iff the relaxed instruction is deterministic for this use:
+    some operand provably excludes INT16_MIN."""
+    if not isinstance(node.shift, type(h.const(I16, 15))):
+        return False
+    if node.shift.value != 15:
+        return False
+    return ctx.lower_bounded(node.a, INT16_MIN + 1) or ctx.lower_bounded(
+        node.b, INT16_MIN + 1
+    )
+
+
+def _node():
+    return F.RoundingMulShr(
+        h.var("x", I16), h.var("y", I16), h.const(I16, 15)
+    )
+
+
+class TestRelaxedDeterminism:
+    def test_full_range_operands_rejected(self):
+        ctx = BoundsContext(BoundsAnalyzer())
+        assert not relaxed_q15mulr_usable(_node(), ctx)
+
+    def test_bounded_operand_accepted(self):
+        ctx = BoundsContext(
+            BoundsAnalyzer({"x": Interval(-32767, 32767)})
+        )
+        assert relaxed_q15mulr_usable(_node(), ctx)
+
+    def test_either_operand_suffices(self):
+        ctx = BoundsContext(BoundsAnalyzer({"y": Interval(0, 100)}))
+        assert relaxed_q15mulr_usable(_node(), ctx)
+
+    def test_wrong_shift_rejected(self):
+        node = F.RoundingMulShr(
+            h.var("x", I16), h.var("y", I16), h.const(I16, 14)
+        )
+        ctx = BoundsContext(BoundsAnalyzer({"x": Interval(0, 10)}))
+        assert not relaxed_q15mulr_usable(node, ctx)
+
+    def test_nondeterministic_point_is_the_saturation_case(self):
+        # The single input where relaxed implementations may disagree:
+        # INT16_MIN * INT16_MIN saturates under FPIR semantics.
+        out = evaluate_scalar(_node(), {"x": INT16_MIN, "y": INT16_MIN})
+        assert out == 32767  # the deterministic (saturating) answer

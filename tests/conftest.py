@@ -1,0 +1,31 @@
+"""Shared test fixtures and hypothesis strategies."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+
+from repro.ir.types import ARITH_TYPES, ScalarType
+
+__all__ = ["lane_values", "scalar_types", "small_vectors"]
+
+
+def lane_values(t: ScalarType) -> st.SearchStrategy[int]:
+    """All representable values of a type, biased toward the boundaries."""
+    boundaries = [t.min_value, t.max_value, 0, 1]
+    if t.signed:
+        boundaries += [-1, t.min_value + 1, t.max_value - 1]
+    boundaries = [b for b in set(boundaries) if t.contains(b)]
+    return st.one_of(
+        st.sampled_from(sorted(boundaries)),
+        st.integers(min_value=t.min_value, max_value=t.max_value),
+    )
+
+
+scalar_types = st.sampled_from(ARITH_TYPES)
+
+#: Types that can widen (everything below 64 bits).
+widenable_types = st.sampled_from([t for t in ARITH_TYPES if t.bits < 64])
+
+
+def small_vectors(t: ScalarType, max_lanes: int = 8):
+    return st.lists(lane_values(t), min_size=1, max_size=max_lanes)

@@ -1,0 +1,103 @@
+"""Evaluation-harness tests: the figure generators produce verified,
+paper-shaped data on representative subsets (full sweeps live in
+benchmarks/)."""
+
+import pytest
+
+from repro.evaluation.ablation import ablate_one, run_ablation
+from repro.evaluation.codegen_compare import (
+    figure3_cases,
+    run_codegen_comparison,
+)
+from repro.evaluation.compile_time import measure_one
+from repro.evaluation.runtime import run_one, run_runtime_evaluation
+from repro.targets import ARM, HVX, X86
+from repro.workloads import by_name
+
+SUBSET = ["sobel3x3", "add", "mul", "camera_pipe"]
+
+
+class TestRuntimeHarness:
+    def test_subset_sweep(self):
+        ev = run_runtime_evaluation(
+            workload_names=SUBSET, with_rake=False
+        )
+        assert len(ev.results) == len(SUBSET) * 3
+        assert all(r.verified for r in ev.results)
+        assert all(r.speedup >= 0.99 for r in ev.results)
+
+    def test_hvx_64bit_substitution_marked(self):
+        r = run_one(by_name("mul"), HVX, with_rake=False)
+        assert r.llvm_substituted
+        r2 = run_one(by_name("sobel3x3"), HVX, with_rake=False)
+        assert not r2.llvm_substituted
+
+    def test_rake_at_least_as_fast_as_pitchfork(self):
+        for name in ("sobel3x3", "add"):
+            r = run_one(by_name(name), HVX, with_rake=True)
+            assert r.rake_cycles is not None
+            assert r.rake_cycles <= r.pitchfork_cycles + 1e-9
+
+    def test_geomean_and_table(self):
+        ev = run_runtime_evaluation(workload_names=SUBSET, with_rake=False)
+        g = ev.geomean_speedup("arm-neon")
+        assert g > 1.0
+        table = ev.format_table()
+        assert "sobel3x3" in table and "geomean" in table
+
+    def test_leave_one_out_never_beats_full(self):
+        wl = by_name("add")
+        from repro.pipeline import pitchfork_compile
+
+        full = pitchfork_compile(wl.expr, HVX, var_bounds=wl.var_bounds)
+        loo = pitchfork_compile(
+            wl.expr,
+            HVX,
+            var_bounds=wl.var_bounds,
+            exclude_sources={"synth:add"},
+        )
+        assert loo.cost().total >= full.cost().total
+
+
+class TestAblationHarness:
+    def test_subset(self):
+        ev = run_ablation(workload_names=["add", "sobel3x3", "max_pool"])
+        assert all(r.verified for r in ev.results)
+        # add/HVX must show the big fused-rule effect
+        add_hvx = next(
+            r
+            for r in ev.results
+            if r.workload == "add" and r.target == "hexagon-hvx"
+        )
+        assert add_hvx.speedup > 2.0
+        # max_pool gains nothing from synthesized rules
+        mp = next(r for r in ev.results if r.workload == "max_pool")
+        assert mp.speedup == pytest.approx(1.0)
+
+    def test_hand_only_never_faster(self):
+        for name in SUBSET:
+            for target in (ARM, HVX):
+                r = ablate_one(by_name(name), target)
+                assert r.speedup >= 1.0 - 1e-9, (name, target.name)
+
+
+class TestCompileTimeHarness:
+    def test_measures_both_flows(self):
+        r = measure_one(by_name("sobel3x3"), ARM, repeats=2)
+        assert r.llvm_seconds > 0 and r.pitchfork_seconds > 0
+
+    def test_softmax_compiles_faster_with_pitchfork(self):
+        r = measure_one(by_name("softmax"), ARM, repeats=3)
+        assert r.speedup > 1.0
+
+
+class TestFig3Harness:
+    def test_three_cases(self):
+        cases = figure3_cases()
+        assert [c.label for c in cases] == ["(a)", "(b)", "(c)"]
+
+    def test_report_contains_listings(self):
+        out = run_codegen_comparison([ARM])
+        assert "PITCHFORK:" in out and "LLVM:" in out
+        assert "umlal" in out
+        assert "speedup" in out

@@ -1,0 +1,113 @@
+"""Properties of the Table 1 definitional expansion machinery."""
+
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro import fpir as F
+from repro.fpir.semantics import expand, expand_fully, saturate_bounds_clamp
+from repro.interp import evaluate
+from repro.ir import builders as h
+from repro.ir import expr as E
+from repro.ir.types import ARITH_TYPES, I8, I16, U8, U16, ScalarType
+
+a = h.var("a", U8)
+b = h.var("b", U8)
+
+
+def _sample_node(cls):
+    """A representative concrete instance of each FPIR op class."""
+    x16, y16 = h.var("x", I16), h.var("y", I16)
+    w = h.var("w", U16)
+    if cls in (F.ExtendingAdd, F.ExtendingSub, F.ExtendingMul):
+        return cls(w, a)
+    if cls is F.SaturatingCast:
+        return cls(U8, x16)
+    if cls in (F.SaturatingNarrow, F.Abs):
+        return cls(x16) if cls is F.Abs else cls(w)
+    if cls in (F.MulShr, F.RoundingMulShr):
+        return cls(x16, y16, h.const(I16, 12))
+    if cls in (F.RoundingShl, F.RoundingShr, F.SaturatingShl,
+               F.WideningShl, F.WideningShr):
+        return cls(a, h.const(U8, 3))
+    return cls(a, b)
+
+
+ALL_OPS = list(F.FPIR_OPS.values())
+
+
+@pytest.mark.parametrize("cls", ALL_OPS, ids=lambda c: c.name)
+class TestExpansion:
+    def test_every_op_has_a_definition(self, cls):
+        node = _sample_node(cls)
+        assert expand(node) is not None
+
+    def test_expand_fully_reaches_core_ir(self, cls):
+        node = _sample_node(cls)
+        out = expand_fully(node)
+        assert not any(isinstance(n, F.FPIRInstr) for n in out.walk())
+
+    def test_expansion_preserves_type(self, cls):
+        node = _sample_node(cls)
+        assert expand_fully(node).type == node.type
+
+    def test_expansion_preserves_meaning(self, cls):
+        node = _sample_node(cls)
+        env = {
+            "a": [0, 1, 100, 255],
+            "b": [255, 3, 200, 0],
+            "x": [-32768, -1, 1000, 32767],
+            "y": [32767, 7, -1000, -32768],
+            "w": [0, 255, 4080, 65535],
+        }
+        env = {k: v for k, v in env.items()}
+        assert evaluate(node, env, lanes=4) == evaluate(
+            expand_fully(node), env, lanes=4
+        )
+
+
+class TestExpandBehaviour:
+    def test_non_fpir_returns_none(self):
+        assert expand(a + b) is None
+
+    def test_one_step_may_keep_fpir(self):
+        # saturating_add is defined via other FPIR ops (Table 1)
+        step = expand(F.SaturatingAdd(a, b))
+        assert any(isinstance(n, F.FPIRInstr) for n in step.walk())
+
+    def test_expansion_is_idempotent_at_fixpoint(self):
+        out = expand_fully(F.RoundingMulShr(
+            h.var("x", I16), h.var("y", I16), h.const(I16, 15)
+        ))
+        assert expand_fully(out) == out
+
+
+class TestSaturateBoundsClamp:
+    def test_narrowing_unsigned(self):
+        w = h.var("w", U16)
+        out = saturate_bounds_clamp(w, U8)
+        assert out == E.Min(w, h.const(U16, 255))
+
+    def test_sign_change_needs_lower_clamp(self):
+        x = h.var("x", I16)
+        out = saturate_bounds_clamp(x, U16)
+        assert out == E.Max(x, h.const(I16, 0))
+
+    def test_widening_same_sign_is_noop(self):
+        out = saturate_bounds_clamp(a, U16)
+        assert out is a
+
+    @pytest.mark.parametrize("src", ARITH_TYPES, ids=str)
+    @pytest.mark.parametrize("dst", ARITH_TYPES, ids=str)
+    def test_clamp_matches_saturate_everywhere(self, src, dst):
+        x = h.var("x", src)
+        clamped = saturate_bounds_clamp(x, dst)
+        samples = [src.min_value, -1, 0, 1, src.max_value]
+        samples = [v for v in samples if src.contains(v)]
+        for v in samples:
+            got = evaluate(clamped, {"x": [v]})[0]
+            assert got == dst.saturate(v) if dst.contains(
+                dst.saturate(v)
+            ) else True
+            # the clamped value must be representable in dst
+            assert dst.contains(got)

@@ -1,0 +1,162 @@
+"""Typing-rule tests for every FPIR instruction (paper Table 1)."""
+
+import pytest
+
+from repro import fpir as F
+from repro.ir import builders as h
+from repro.ir.expr import TypeError_
+from repro.ir.types import I8, I16, I32, U8, U16, U32, U64, ScalarType
+
+
+def v(t, name="x"):
+    return h.var(name, t)
+
+
+class TestWideningTypes:
+    def test_widening_add_widens(self):
+        assert F.WideningAdd(v(U8), v(U8, "y")).type == U16
+        assert F.WideningAdd(v(I16), v(I16, "y")).type == I32
+
+    def test_widening_add_requires_same_type(self):
+        with pytest.raises(TypeError_):
+            F.WideningAdd(v(U8), v(I8, "y"))
+
+    def test_widening_sub_result_is_signed(self):
+        assert F.WideningSub(v(U8), v(U8, "y")).type == I16
+        assert F.WideningSub(v(I8), v(I8, "y")).type == I16
+
+    def test_widening_mul_sign_mixing(self):
+        assert F.WideningMul(v(U8), v(U8, "y")).type == U16
+        assert F.WideningMul(v(U8), v(I8, "y")).type == I16
+        assert F.WideningMul(v(I8), v(U8, "y")).type == I16
+        assert F.WideningMul(v(I8), v(I8, "y")).type == I16
+
+    def test_widening_mul_rejects_width_mismatch(self):
+        with pytest.raises(TypeError_):
+            F.WideningMul(v(U8), v(U16, "y"))
+
+    def test_widening_shl_preserves_sign(self):
+        assert F.WideningShl(v(U8), v(U8, "y")).type == U16
+        assert F.WideningShl(v(U8), v(I8, "y")).type == U16
+
+    def test_widening_64_gives_128(self):
+        wide = F.WideningMul(v(U64), v(U64, "y"))
+        assert wide.type == ScalarType(128, False)
+
+
+class TestExtendingTypes:
+    def test_extending_add(self):
+        assert F.ExtendingAdd(v(U16), v(U8, "y")).type == U16
+
+    def test_extending_requires_double_width(self):
+        with pytest.raises(TypeError_):
+            F.ExtendingAdd(v(U16), v(U16, "y"))
+        with pytest.raises(TypeError_):
+            F.ExtendingAdd(v(U32), v(U8, "y"))
+
+    def test_extending_requires_same_sign(self):
+        with pytest.raises(TypeError_):
+            F.ExtendingAdd(v(U16), v(I8, "y"))
+
+
+class TestAbsTypes:
+    def test_abs_output_unsigned(self):
+        assert F.Abs(v(I8)).type == U8
+        assert F.Abs(v(U16)).type == U16
+
+    def test_absd_output_unsigned(self):
+        assert F.Absd(v(I16), v(I16, "y")).type == U16
+        assert F.Absd(v(U8), v(U8, "y")).type == U8
+
+    def test_absd_requires_same_type(self):
+        with pytest.raises(TypeError_):
+            F.Absd(v(U8), v(I8, "y"))
+
+
+class TestSaturatingTypes:
+    def test_saturating_cast(self):
+        assert F.SaturatingCast(U8, v(U16)).type == U8
+        assert F.SaturatingCast(I32, v(U8)).type == I32
+
+    def test_saturating_narrow(self):
+        assert F.SaturatingNarrow(v(U16)).type == U8
+        assert F.SaturatingNarrow(v(I32)).type == I16
+
+    def test_saturating_narrow_rejects_8bit(self):
+        with pytest.raises(TypeError_):
+            F.SaturatingNarrow(v(U8))
+
+    def test_same_type_binaries(self):
+        for cls in (
+            F.SaturatingAdd,
+            F.SaturatingSub,
+            F.HalvingAdd,
+            F.HalvingSub,
+            F.RoundingHalvingAdd,
+        ):
+            assert cls(v(U8), v(U8, "y")).type == U8
+            with pytest.raises(TypeError_):
+                cls(v(U8), v(U16, "y"))
+
+
+class TestShiftAndMulTypes:
+    def test_rounding_shifts_allow_signed_amounts(self):
+        assert F.RoundingShl(v(U16), v(I16, "s")).type == U16
+        assert F.RoundingShr(v(I16), v(U16, "s")).type == I16
+
+    def test_mul_shr_types(self):
+        assert F.MulShr(v(I16), v(I16, "y"), v(I16, "z")).type == I16
+        assert F.MulShr(v(U16), v(U16, "y"), v(U16, "z")).type == U16
+        assert F.MulShr(v(U16), v(I16, "y"), v(U16, "z")).type == I16
+
+    def test_rounding_mul_shr_types(self):
+        assert (
+            F.RoundingMulShr(v(I32), v(I32, "y"), v(I32, "z")).type == I32
+        )
+
+    def test_mul_shr_rejects_width_mismatch(self):
+        with pytest.raises(TypeError_):
+            F.MulShr(v(I16), v(I16, "y"), v(I8, "z"))
+
+    def test_saturating_shl(self):
+        assert F.SaturatingShl(v(I16), v(I16, "s")).type == I16
+
+
+class TestCuration:
+    """§3.1.2: deliberately-excluded instructions must stay excluded."""
+
+    def test_no_rounding_halving_sub(self):
+        assert "rounding_halving_sub" not in F.FPIR_OPS
+        assert not hasattr(F, "RoundingHalvingSub")
+
+    def test_no_saturating_halving_add(self):
+        assert "saturating_halving_add" not in F.FPIR_OPS
+
+    def test_registry_complete(self):
+        # Table 1 has 21 instructions; §8.4 adds saturating_shl.
+        assert len(F.FPIR_OPS) == 22
+        expected = {
+            "extending_add",
+            "extending_sub",
+            "extending_mul",
+            "widening_add",
+            "widening_sub",
+            "widening_mul",
+            "widening_shl",
+            "widening_shr",
+            "abs",
+            "absd",
+            "saturating_cast",
+            "saturating_narrow",
+            "saturating_add",
+            "saturating_sub",
+            "halving_add",
+            "halving_sub",
+            "rounding_halving_add",
+            "rounding_shl",
+            "rounding_shr",
+            "mul_shr",
+            "rounding_mul_shr",
+            "saturating_shl",
+        }
+        assert set(F.FPIR_OPS) == expected

@@ -1,0 +1,72 @@
+"""§8.4: the saturating_shl extension, end to end.
+
+"Extending FPIR is straightforward: a one-line definition of
+saturating_shl is added, one line of code is added to the lifter ...
+[mappings] to the ARM backend ... and one line ... for backends that do
+not directly support them."  This test walks the same checklist.
+"""
+
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro import fpir as F
+from repro.interp import evaluate_scalar
+from repro.ir import builders as h
+from repro.ir import expr as E
+from repro.ir.types import I16, U8
+from repro.lifting import lift
+from repro.pipeline import pitchfork_compile
+from repro.targets import ARM, HVX, X86
+
+
+class TestDefinition:
+    def test_semantics_at_saturation(self):
+        node = F.SaturatingShl(h.var("x", I16), h.const(I16, 8))
+        assert evaluate_scalar(node, {"x": 1000}) == 32767
+        assert evaluate_scalar(node, {"x": -1000}) == -32768
+        assert evaluate_scalar(node, {"x": 3}) == 768
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        x=st.integers(min_value=-32768, max_value=32767),
+        s=st.integers(min_value=0, max_value=16),
+    )
+    def test_matches_clamped_exact_shift(self, x, s):
+        node = F.SaturatingShl(h.var("x", I16), h.const(I16, s))
+        assert evaluate_scalar(node, {"x": x}) == I16.saturate(x << s)
+
+
+class TestLifting:
+    def test_lifter_recognizes_the_pattern(self):
+        # saturating_cast<T>(widening_shl(x, y)) -> saturating_shl(x, y)
+        x = h.var("x", U8)
+        src = h.u8(h.minimum((h.u16(x) << 5), 255))
+        out = lift(src)
+        assert out == F.SaturatingShl(x, h.const(U8, 5))
+
+
+class TestLowering:
+    def test_arm_maps_to_uqshl(self):
+        node = F.SaturatingShl(h.var("x", I16), h.const(I16, 3))
+        prog = pitchfork_compile(node, ARM)
+        assert prog.instructions == ["sqshl"]
+
+    def test_hvx_maps_to_vasl_sat(self):
+        node = F.SaturatingShl(h.var("x", I16), h.const(I16, 3))
+        prog = pitchfork_compile(node, HVX)
+        assert prog.instructions == ["vasl:sat"]
+
+    def test_x86_emulates_via_expansion(self):
+        # no native saturating shift: the definitional lowering applies
+        node = F.SaturatingShl(h.var("x", I16), h.const(I16, 3))
+        prog = pitchfork_compile(node, X86)
+        assert len(prog.instructions) > 1
+
+    @pytest.mark.parametrize("target", [ARM, HVX, X86], ids=lambda t: t.name)
+    def test_all_targets_execute_exactly(self, target):
+        node = F.SaturatingShl(h.var("x", I16), h.const(I16, 4))
+        prog = pitchfork_compile(node, target)
+        env = {"x": [-32768, -10, 0, 7, 2047, 2048, 32767]}
+        expected = [I16.saturate(v << 4) for v in env["x"]]
+        assert prog.run(env) == expected

@@ -1,0 +1,236 @@
+"""Table 1 semantics: direct evaluators must match the compositional
+definitions, for every instruction, type, and sign combination.
+
+This is the reproduction of the paper's rule-verification machinery applied
+to FPIR itself: the expansion (Table 1 right-hand column) is the ground
+truth and the fast direct evaluator is checked against it property-wise.
+"""
+
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro import fpir as F
+from repro.fpir.semantics import expand_fully
+from repro.ir import builders as h
+from repro.ir.expr import Var
+from repro.ir.types import (
+    ARITH_TYPES,
+    I8,
+    I16,
+    I32,
+    U8,
+    U16,
+    U32,
+    ScalarType,
+)
+from repro.interp import evaluate_scalar
+
+WIDENABLE = [t for t in ARITH_TYPES if t.bits < 64]
+NARROWABLE = [t for t in ARITH_TYPES if t.bits > 8]
+
+
+def check_matches_expansion(node, env):
+    """Direct evaluation == evaluation of the full Table 1 expansion."""
+    direct = evaluate_scalar(node, env)
+    expanded = evaluate_scalar(expand_fully(node), env)
+    assert direct == expanded, (
+        f"{node}: direct={direct} expansion={expanded} env={env}"
+    )
+    assert node.type.contains(direct)
+
+
+def values_for(t: ScalarType):
+    return st.integers(min_value=t.min_value, max_value=t.max_value)
+
+
+# ----------------------------------------------------------------------
+# Binary, same-type instructions
+# ----------------------------------------------------------------------
+SAME_TYPE_OPS = [
+    F.WideningAdd,
+    F.WideningSub,
+    F.HalvingAdd,
+    F.HalvingSub,
+    F.RoundingHalvingAdd,
+    F.SaturatingAdd,
+    F.SaturatingSub,
+    F.Absd,
+]
+
+
+@pytest.mark.parametrize("op", SAME_TYPE_OPS, ids=lambda c: c.name)
+@pytest.mark.parametrize("t", WIDENABLE, ids=str)
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_same_type_binary(op, t, data):
+    x = data.draw(values_for(t), label="x")
+    y = data.draw(values_for(t), label="y")
+    node = op(Var(t, "x"), Var(t, "y"))
+    check_matches_expansion(node, {"x": x, "y": y})
+
+
+@pytest.mark.parametrize("ta", WIDENABLE, ids=str)
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_widening_mul_mixed_signs(ta, data):
+    tb = ta.with_signed(not ta.signed)
+    x = data.draw(values_for(ta), label="x")
+    y = data.draw(values_for(tb), label="y")
+    node = F.WideningMul(Var(ta, "x"), Var(tb, "y"))
+    check_matches_expansion(node, {"x": x, "y": y})
+
+
+@pytest.mark.parametrize("t", WIDENABLE, ids=str)
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_widening_shifts(t, data):
+    x = data.draw(values_for(t), label="x")
+    s = data.draw(st.integers(min_value=0, max_value=t.bits * 2), label="s")
+    for op in (F.WideningShl, F.WideningShr):
+        node = op(Var(t, "x"), h.const(t.with_signed(False), s))
+        check_matches_expansion(node, {"x": x})
+
+
+@pytest.mark.parametrize("t", NARROWABLE, ids=str)
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_extending_ops(t, data):
+    n = t.narrow()
+    x = data.draw(values_for(t), label="x")
+    y = data.draw(values_for(n), label="y")
+    for op in (F.ExtendingAdd, F.ExtendingSub, F.ExtendingMul):
+        node = op(Var(t, "x"), Var(n, "y"))
+        check_matches_expansion(node, {"x": x, "y": y})
+
+
+@pytest.mark.parametrize("t", ARITH_TYPES, ids=str)
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_abs(t, data):
+    x = data.draw(values_for(t), label="x")
+    node = F.Abs(Var(t, "x"))
+    check_matches_expansion(node, {"x": x})
+    assert evaluate_scalar(node, {"x": x}) == abs(x)
+
+
+@pytest.mark.parametrize("src", ARITH_TYPES, ids=str)
+@pytest.mark.parametrize("dst", ARITH_TYPES, ids=str)
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_saturating_cast_all_pairs(src, dst, data):
+    x = data.draw(values_for(src), label="x")
+    node = F.SaturatingCast(dst, Var(src, "x"))
+    check_matches_expansion(node, {"x": x})
+    assert evaluate_scalar(node, {"x": x}) == dst.saturate(x)
+
+
+@pytest.mark.parametrize("t", NARROWABLE, ids=str)
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_saturating_narrow(t, data):
+    x = data.draw(values_for(t), label="x")
+    node = F.SaturatingNarrow(Var(t, "x"))
+    check_matches_expansion(node, {"x": x})
+    assert evaluate_scalar(node, {"x": x}) == t.narrow().saturate(x)
+
+
+@pytest.mark.parametrize("t", [U8, I8, U16, I16], ids=str)
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_rounding_shifts(t, data):
+    x = data.draw(values_for(t), label="x")
+    ts = t.with_signed(True)
+    s = data.draw(
+        st.integers(min_value=-(t.bits - 1), max_value=t.bits - 1), label="s"
+    )
+    for op in (F.RoundingShl, F.RoundingShr):
+        node = op(Var(t, "x"), h.const(ts, s))
+        check_matches_expansion(node, {"x": x})
+
+
+@pytest.mark.parametrize("t", [I16, I32, U16], ids=str)
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_mul_shr_variants(t, data):
+    x = data.draw(values_for(t), label="x")
+    y = data.draw(values_for(t), label="y")
+    s = data.draw(st.integers(min_value=0, max_value=t.bits), label="s")
+    shift = h.const(t.with_signed(False), s)
+    for op in (F.MulShr, F.RoundingMulShr):
+        node = op(Var(t, "x"), Var(t, "y"), shift)
+        check_matches_expansion(node, {"x": x, "y": y})
+
+
+@pytest.mark.parametrize("t", [I8, I16, U16], ids=str)
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_saturating_shl(t, data):
+    x = data.draw(values_for(t), label="x")
+    s = data.draw(st.integers(min_value=0, max_value=t.bits), label="s")
+    node = F.SaturatingShl(Var(t, "x"), h.const(t.with_signed(False), s))
+    check_matches_expansion(node, {"x": x})
+
+
+# ----------------------------------------------------------------------
+# Known-value spot checks (documented hardware behaviour)
+# ----------------------------------------------------------------------
+class TestKnownValues:
+    def test_rounding_average_of_3_and_4_is_4(self):
+        """§2.1: round-up averaging of 4 and 3 produces 4."""
+        node = F.RoundingHalvingAdd(Var(U8, "x"), Var(U8, "y"))
+        assert evaluate_scalar(node, {"x": 4, "y": 3}) == 4
+
+    def test_halving_average_of_3_and_4_is_3(self):
+        node = F.HalvingAdd(Var(U8, "x"), Var(U8, "y"))
+        assert evaluate_scalar(node, {"x": 4, "y": 3}) == 3
+
+    def test_halving_add_no_overflow_at_max(self):
+        """§3.1.2: halving_add cannot overflow, so no saturating variant."""
+        node = F.HalvingAdd(Var(U8, "x"), Var(U8, "y"))
+        assert evaluate_scalar(node, {"x": 255, "y": 255}) == 255
+
+    def test_uhsub_wrapping(self):
+        """ARM UHSUB semantics: (0 - 255) >> 1 wraps to 128 in u8."""
+        node = F.HalvingSub(Var(U8, "x"), Var(U8, "y"))
+        assert evaluate_scalar(node, {"x": 0, "y": 255}) == 128
+
+    def test_sqrdmulh_saturation(self):
+        """rounding_mul_shr(i16 min, i16 min, 15) saturates to 32767."""
+        node = F.RoundingMulShr(
+            Var(I16, "x"), Var(I16, "y"), h.const(I16, 15)
+        )
+        assert evaluate_scalar(node, {"x": -32768, "y": -32768}) == 32767
+
+    def test_vpmulhw_case(self):
+        """mul_shr(x, y, 16) == high half of the 32-bit product."""
+        node = F.MulShr(Var(I16, "x"), Var(I16, "y"), h.const(I16, 16))
+        assert evaluate_scalar(node, {"x": 1000, "y": 1000}) == (
+            1000 * 1000
+        ) >> 16
+
+    def test_abs_of_int_min_is_total(self):
+        node = F.Abs(Var(I8, "x"))
+        assert evaluate_scalar(node, {"x": -128}) == 128
+
+    def test_absd_extremes(self):
+        node = F.Absd(Var(I8, "x"), Var(I8, "y"))
+        assert evaluate_scalar(node, {"x": -128, "y": 127}) == 255
+
+    def test_saturating_add_unsigned(self):
+        node = F.SaturatingAdd(Var(U8, "x"), Var(U8, "y"))
+        assert evaluate_scalar(node, {"x": 200, "y": 100}) == 255
+
+    def test_saturating_sub_unsigned_floors_at_zero(self):
+        node = F.SaturatingSub(Var(U8, "x"), Var(U8, "y"))
+        assert evaluate_scalar(node, {"x": 3, "y": 10}) == 0
+
+    def test_widening_sub_of_unsigned_goes_negative(self):
+        node = F.WideningSub(Var(U8, "x"), Var(U8, "y"))
+        assert evaluate_scalar(node, {"x": 0, "y": 255}) == -255
+        assert node.type == I16
+
+    def test_rounding_shr_rounds_half_up(self):
+        node = F.RoundingShr(Var(I16, "x"), h.const(I16, 1))
+        assert evaluate_scalar(node, {"x": 5}) == 3
+        assert evaluate_scalar(node, {"x": -5}) == -2

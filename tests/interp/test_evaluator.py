@@ -1,0 +1,157 @@
+"""Unit tests for the reference interpreter's core-IR semantics."""
+
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.ir import expr as E
+from repro.ir import builders as h
+from repro.ir.types import I8, I16, U8, U16
+from repro.interp import EvalError, evaluate, evaluate_scalar
+
+x = h.var("x", I8)
+y = h.var("y", I8)
+ux = h.var("x", U8)
+uy = h.var("y", U8)
+
+
+def ev(e, **env):
+    return evaluate_scalar(e, env)
+
+
+class TestArithmetic:
+    def test_wrapping_add(self):
+        assert ev(ux + uy, x=200, y=100) == 44
+        assert ev(x + y, x=127, y=1) == -128
+
+    def test_wrapping_mul(self):
+        assert ev(ux * uy, x=16, y=16) == 0
+
+    def test_division_floors(self):
+        assert ev(x // y, x=-7, y=2) == -4
+        assert ev(x // y, x=7, y=2) == 3
+        assert ev(x // y, x=-7, y=-2) == 3
+
+    def test_division_by_zero_is_zero(self):
+        assert ev(x // y, x=5, y=0) == 0
+
+    def test_mod_sign_follows_divisor(self):
+        assert ev(x % y, x=-7, y=2) == 1
+        assert ev(x % y, x=7, y=-2) == -1
+
+    def test_mod_by_zero_is_zero(self):
+        assert ev(x % y, x=5, y=0) == 0
+
+    def test_min_max(self):
+        assert ev(h.minimum(x, y), x=-5, y=3) == -5
+        assert ev(h.maximum(x, y), x=-5, y=3) == 3
+
+    def test_neg_wraps_at_min(self):
+        assert ev(-x, x=-128) == -128
+
+    def test_bitops(self):
+        assert ev(ux & uy, x=0b1100, y=0b1010) == 0b1000
+        assert ev(ux | uy, x=0b1100, y=0b1010) == 0b1110
+        assert ev(ux ^ uy, x=0b1100, y=0b1010) == 0b0110
+
+
+class TestShifts:
+    def test_logical_vs_arithmetic_shr(self):
+        assert ev(ux >> 1, x=255) == 127
+        assert ev(x >> 1, x=-2) == -1
+        assert ev(x >> 1, x=-1) == -1  # arithmetic floors
+
+    def test_negative_amount_reverses(self):
+        s = h.var("s", I8)
+        assert ev(E.Shl(x, s), x=4, s=-1) == 2
+        assert ev(E.Shr(x, s), x=4, s=-1) == 8
+
+    def test_overshift(self):
+        assert ev(ux << 8, x=255) == 0
+        assert ev(ux >> 8, x=255) == 0
+        assert ev(x >> 8, x=-1) == -1
+        assert ev(x << 8, x=-1) == 0
+
+    def test_shl_wraps(self):
+        assert ev(ux << 4, x=0xFF) == 0xF0
+
+
+class TestConversionsAndSelect:
+    def test_cast_narrows_wrapping(self):
+        w = h.var("w", U16)
+        assert ev(h.u8(w), w=300) == 44
+
+    def test_cast_sign_change(self):
+        assert ev(h.i8(ux), x=255) == -1
+        assert ev(h.u8(x), x=-1) == 255
+
+    def test_cast_widen_sign_extends(self):
+        assert ev(h.i16(x), x=-5) == -5
+        assert ev(h.u16(x), x=-1) == 65535
+
+    def test_reinterpret(self):
+        assert ev(E.Reinterpret(U8, x), x=-1) == 255
+        assert ev(E.Reinterpret(I8, ux), x=255) == -1
+
+    def test_select(self):
+        e = h.select(E.LT(x, y), x, y)
+        assert ev(e, x=2, y=5) == 2
+        assert ev(e, x=5, y=2) == 2
+
+    def test_comparisons(self):
+        assert ev(E.LE(x, y), x=3, y=3) == 1
+        assert ev(E.NE(x, y), x=3, y=3) == 0
+        assert ev(E.GE(x, y), x=4, y=3) == 1
+
+    def test_not(self):
+        assert ev(E.Not(E.LT(x, y)), x=1, y=2) == 0
+
+
+class TestVectorEvaluation:
+    def test_lanes(self):
+        e = ux + uy
+        out = evaluate(e, {"x": [1, 2, 3], "y": [10, 20, 30]})
+        assert out == [11, 22, 33]
+
+    def test_constant_broadcast(self):
+        e = ux + 1
+        assert evaluate(e, {"x": [0, 255]}) == [1, 0]
+
+    def test_lane_mismatch_raises(self):
+        with pytest.raises(EvalError):
+            evaluate(ux + uy, {"x": [1, 2], "y": [1]})
+
+    def test_unbound_var_raises(self):
+        with pytest.raises(EvalError):
+            evaluate(ux, {})
+
+    def test_inputs_wrapped_to_type(self):
+        # Out-of-range inputs are wrapped on entry, like storing to memory.
+        assert evaluate(ux, {"x": [256]}) == [0]
+
+    def test_cse_single_evaluation(self):
+        # Shared subtrees evaluate once (memoized by structural equality).
+        shared = ux * uy
+        e = E.Add(shared, shared)
+        assert evaluate(e, {"x": [3], "y": [5]}) == [30]
+
+    def test_no_vars_single_lane(self):
+        assert evaluate(h.const(U8, 7) + 1, {}) == [8]
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    a=st.integers(min_value=-128, max_value=127),
+    b=st.integers(min_value=-128, max_value=127),
+)
+def test_add_commutes_and_wraps(a, b):
+    assert ev(x + y, x=a, y=b) == ev(y + x, x=a, y=b) == I8.wrap(a + b)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    a=st.integers(min_value=0, max_value=255),
+    s=st.integers(min_value=0, max_value=7),
+)
+def test_shift_mul_equivalence(a, s):
+    assert ev(ux << s, x=a) == ev(ux * (1 << s), x=a)

@@ -1,0 +1,89 @@
+"""Vector-level property tests: FPIR evaluation is lane-wise (no
+cross-lane effects), matches scalar evaluation, and respects types."""
+
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro import fpir as F
+from repro.interp import evaluate, evaluate_scalar
+from repro.ir import builders as h
+from repro.ir.expr import Var
+from repro.ir.types import I16, U8
+
+lane_u8 = st.integers(min_value=0, max_value=255)
+lane_i16 = st.integers(min_value=-32768, max_value=32767)
+
+
+BINARY_U8_OPS = [
+    F.WideningAdd, F.WideningSub, F.WideningMul, F.SaturatingAdd,
+    F.SaturatingSub, F.HalvingAdd, F.HalvingSub, F.RoundingHalvingAdd,
+    F.Absd,
+]
+
+
+@pytest.mark.parametrize("op", BINARY_U8_OPS, ids=lambda c: c.name)
+@settings(max_examples=25, deadline=None)
+@given(
+    xs=st.lists(lane_u8, min_size=1, max_size=12),
+    ys=st.lists(lane_u8, min_size=1, max_size=12),
+)
+def test_vector_matches_scalar_per_lane(op, xs, ys):
+    n = min(len(xs), len(ys))
+    xs, ys = xs[:n], ys[:n]
+    node = op(Var(U8, "x"), Var(U8, "y"))
+    vec = evaluate(node, {"x": xs, "y": ys}, lanes=n)
+    for i in range(n):
+        assert vec[i] == evaluate_scalar(node, {"x": xs[i], "y": ys[i]})
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    xs=st.lists(lane_i16, min_size=2, max_size=10),
+    ys=st.lists(lane_i16, min_size=2, max_size=10),
+)
+def test_no_cross_lane_effects(xs, ys):
+    """Permuting lanes permutes outputs identically."""
+    n = min(len(xs), len(ys))
+    xs, ys = xs[:n], ys[:n]
+    node = F.RoundingMulShr(
+        Var(I16, "x"), Var(I16, "y"), h.const(I16, 15)
+    )
+    fwd = evaluate(node, {"x": xs, "y": ys}, lanes=n)
+    rev = evaluate(
+        node, {"x": xs[::-1], "y": ys[::-1]}, lanes=n
+    )
+    assert rev == fwd[::-1]
+
+
+@settings(max_examples=30, deadline=None)
+@given(xs=st.lists(lane_u8, min_size=1, max_size=16))
+def test_results_always_in_type_range(xs):
+    for node in (
+        F.Abs(Var(U8, "x")),
+        F.SaturatingNarrow(F.WideningAdd(Var(U8, "x"), Var(U8, "x"))),
+        F.RoundingShl(Var(U8, "x"), h.const(U8, 2)),
+    ):
+        out = evaluate(node, {"x": xs}, lanes=len(xs))
+        t = node.type
+        assert all(t.contains(v) for v in out)
+
+
+class TestCompiledProgramVectors:
+    """The same lane-wise properties hold through full compilation."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        xs=st.lists(lane_u8, min_size=1, max_size=16),
+        ys=st.lists(lane_u8, min_size=1, max_size=16),
+    )
+    def test_compiled_program_is_lanewise(self, xs, ys):
+        from repro.pipeline import pitchfork_compile
+        from repro.targets import ARM
+
+        n = min(len(xs), len(ys))
+        xs, ys = xs[:n], ys[:n]
+        expr = h.u8(h.minimum(h.u16(Var(U8, "x")) + h.u16(Var(U8, "y")), 255))
+        prog = pitchfork_compile(expr, ARM)
+        vec = prog.run({"x": xs, "y": ys})
+        assert vec == [min(255, x + y) for x, y in zip(xs, ys)]

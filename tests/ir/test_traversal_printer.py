@@ -1,0 +1,109 @@
+"""Unit tests for traversal utilities and the pretty-printer."""
+
+from repro.ir import expr as E
+from repro.ir import builders as h
+from repro.ir.printer import to_string
+from repro.ir.traversal import (
+    contains,
+    subexpressions,
+    substitute_vars,
+    transform_bottom_up,
+    transform_top_down,
+)
+from repro.ir.types import U8, U16
+
+a = h.var("a", U8)
+b = h.var("b", U8)
+
+
+class TestTransform:
+    def test_bottom_up_identity(self):
+        e = E.Add(a, b)
+        assert transform_bottom_up(e, lambda n: None) == e
+
+    def test_bottom_up_replaces_leaves_then_parents(self):
+        order = []
+
+        def fn(n):
+            order.append(type(n).__name__)
+            return None
+
+        transform_bottom_up(E.Add(a, E.Mul(a, b)), fn)
+        assert order == ["Var", "Var", "Var", "Mul", "Add"]
+
+    def test_bottom_up_rebuild(self):
+        def swap_vars(n):
+            if isinstance(n, E.Var) and n.name == "a":
+                return b
+            return None
+
+        assert transform_bottom_up(E.Add(a, b), swap_vars) == E.Add(b, b)
+
+    def test_top_down_sees_root_first(self):
+        seen = []
+
+        def fn(n):
+            seen.append(type(n).__name__)
+            return None
+
+        transform_top_down(E.Add(a, b), fn)
+        assert seen[0] == "Add"
+
+    def test_substitute_vars(self):
+        e = E.Add(a, b)
+        out = substitute_vars(e, {"a": E.Const(U8, 7)})
+        assert out == E.Add(E.Const(U8, 7), b)
+
+    def test_substitute_missing_keeps(self):
+        assert substitute_vars(a, {}) == a
+
+
+class TestEnumeration:
+    def test_subexpressions_distinct(self):
+        e = E.Add(E.Mul(a, b), E.Mul(a, b))
+        subs = list(subexpressions(e))
+        # a, b, Mul(a,b), Add — the duplicate Mul appears once.
+        assert len(subs) == 4
+
+    def test_subexpressions_size_cap(self):
+        e = E.Add(E.Mul(a, b), b)
+        subs = list(subexpressions(e, max_size=1))
+        assert set(subs) == {a, b}
+
+    def test_contains(self):
+        e = E.Add(E.Mul(a, b), b)
+        assert contains(e, E.Mul(a, b))
+        assert not contains(e, E.Mul(b, a))
+
+
+class TestPrinter:
+    def test_infix(self):
+        assert to_string(E.Add(a, b)) == "a + b"
+        assert to_string(E.Mul(E.Add(a, b), b)) == "(a + b) * b"
+
+    def test_cast(self):
+        assert to_string(h.u16(a)) == "u16(a)"
+
+    def test_min_max_call_syntax(self):
+        assert to_string(h.minimum(a, 3)) == "min(a, 3)"
+
+    def test_select(self):
+        s = E.Select(E.LT(a, b), a, b)
+        assert to_string(s) == "select(a < b, a, b)"
+
+    def test_reinterpret(self):
+        from repro.ir.types import I8
+
+        assert to_string(E.Reinterpret(I8, a)) == "reinterpret<i8>(a)"
+
+    def test_repr_is_printer(self):
+        assert repr(E.Add(a, b)) == "a + b"
+
+    def test_fpir_printing(self):
+        from repro import fpir as F
+
+        assert to_string(F.WideningAdd(a, b)) == "widening_add(a, b)"
+        assert (
+            to_string(F.SaturatingCast(U16, h.u16(a)))
+            == "saturating_cast<u16>(u16(a))"
+        )

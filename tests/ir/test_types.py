@@ -1,0 +1,126 @@
+"""Unit tests for the scalar type system."""
+
+import pytest
+from hypothesis import given
+import hypothesis.strategies as st
+
+from repro.ir.types import (
+    ALL_TYPES,
+    ARITH_TYPES,
+    BOOL,
+    I8,
+    I16,
+    I32,
+    I64,
+    U8,
+    U16,
+    U32,
+    U64,
+    ScalarType,
+    type_from_code,
+)
+
+
+class TestRanges:
+    def test_unsigned_ranges(self):
+        assert U8.min_value == 0 and U8.max_value == 255
+        assert U16.max_value == 65535
+        assert U32.max_value == 2**32 - 1
+        assert U64.max_value == 2**64 - 1
+
+    def test_signed_ranges(self):
+        assert I8.min_value == -128 and I8.max_value == 127
+        assert I16.min_value == -32768 and I16.max_value == 32767
+        assert I32.min_value == -(2**31)
+        assert I64.max_value == 2**63 - 1
+
+    def test_bool_range(self):
+        assert BOOL.min_value == 0 and BOOL.max_value == 1
+
+    @pytest.mark.parametrize("t", ARITH_TYPES)
+    def test_contains_boundaries(self, t):
+        assert t.contains(t.min_value)
+        assert t.contains(t.max_value)
+        assert not t.contains(t.max_value + 1)
+        assert not t.contains(t.min_value - 1)
+
+
+class TestWrapSaturate:
+    def test_wrap_unsigned(self):
+        assert U8.wrap(256) == 0
+        assert U8.wrap(-1) == 255
+        assert U8.wrap(511) == 255
+
+    def test_wrap_signed(self):
+        assert I8.wrap(128) == -128
+        assert I8.wrap(-129) == 127
+        assert I8.wrap(255) == -1
+
+    def test_saturate(self):
+        assert U8.saturate(300) == 255
+        assert U8.saturate(-5) == 0
+        assert I8.saturate(200) == 127
+        assert I8.saturate(-200) == -128
+        assert I8.saturate(42) == 42
+
+    @given(st.integers(min_value=-(2**70), max_value=2**70))
+    def test_wrap_idempotent(self, v):
+        for t in ARITH_TYPES:
+            w = t.wrap(v)
+            assert t.contains(w)
+            assert t.wrap(w) == w
+
+    @given(st.integers(min_value=-(2**70), max_value=2**70))
+    def test_wrap_congruent_mod_2n(self, v):
+        for t in ARITH_TYPES:
+            assert (t.wrap(v) - v) % (1 << t.bits) == 0
+
+
+class TestDerivedTypes:
+    def test_widen(self):
+        assert U8.widen() == U16
+        assert I16.widen() == I32
+        assert U64.widen() == ScalarType(128, False)
+
+    def test_narrow(self):
+        assert U16.narrow() == U8
+        assert I64.narrow() == I32
+
+    def test_widen_narrow_roundtrip(self):
+        for t in ARITH_TYPES:
+            if t.can_widen():
+                assert t.widen().narrow() == t
+
+    def test_narrow_u8_fails(self):
+        with pytest.raises(ValueError):
+            U8.narrow()
+
+    def test_widen_bool_fails(self):
+        with pytest.raises(ValueError):
+            BOOL.widen()
+
+    def test_with_signed(self):
+        assert U16.with_signed(True) == I16
+        assert I16.with_signed(False) == U16
+
+
+class TestMisc:
+    def test_codes(self):
+        assert U8.code == "u8" and I32.code == "i32" and BOOL.code == "bool"
+
+    def test_from_code(self):
+        for t in ALL_TYPES:
+            assert type_from_code(t.code) == t
+        with pytest.raises(ValueError):
+            type_from_code("f32")
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            ScalarType(7, False)
+
+    def test_signed_bool_invalid(self):
+        with pytest.raises(ValueError):
+            ScalarType(1, True)
+
+    def test_hashable(self):
+        assert len({U8, U8, I8}) == 2

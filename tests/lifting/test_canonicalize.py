@@ -1,0 +1,87 @@
+"""Unit tests for canonicalization (the pre-lift simplifier)."""
+
+from repro.ir import builders as h
+from repro.ir import expr as E
+from repro.ir.types import U8, U16
+from repro.lifting.canonicalize import canonicalize, fold_constants
+
+a = h.var("a", U8)
+b = h.var("b", U8)
+
+
+class TestConstantFolding:
+    def test_fold_add(self):
+        assert fold_constants(h.const(U8, 3) + 4) == h.const(U8, 7)
+
+    def test_fold_nested(self):
+        e = (h.const(U16, 3) + 4) * h.const(U16, 2)
+        assert fold_constants(e) == h.const(U16, 14)
+
+    def test_fold_cast(self):
+        assert fold_constants(h.u16(h.const(U8, 200))) == h.const(U16, 200)
+
+    def test_fold_respects_wrapping(self):
+        assert fold_constants(h.const(U8, 200) + 100) == h.const(U8, 44)
+
+    def test_vars_not_folded(self):
+        assert fold_constants(a + 1) == a + 1
+
+
+class TestIdentities:
+    def test_add_zero(self):
+        assert canonicalize(a + 0) == a
+
+    def test_mul_one_and_zero(self):
+        assert canonicalize(a * 1) == a
+        assert canonicalize(a * 0) == h.const(U8, 0)
+
+    def test_sub_zero_and_neg(self):
+        assert canonicalize(a - 0) == a
+        assert canonicalize(h.const(U8, 0) - a) == E.Neg(a)
+
+    def test_shift_zero(self):
+        assert canonicalize(a << 0) == a
+        assert canonicalize(a >> 0) == a
+
+    def test_min_self(self):
+        assert canonicalize(h.minimum(a, a)) == a
+
+    def test_div_pow2_to_shift(self):
+        out = canonicalize(h.u16(a) // 8)
+        assert out == E.Shr(h.u16(a), h.const(U16, 3))
+
+    def test_div_non_pow2_stays(self):
+        out = canonicalize(h.u16(a) // 6)
+        assert isinstance(out, E.Div)
+
+    def test_constant_commutes_right(self):
+        e = E.Add(h.const(U8, 3), a)
+        assert canonicalize(e) == E.Add(a, h.const(U8, 3))
+        e = E.Mul(h.const(U8, 3), a)
+        assert canonicalize(e) == E.Mul(a, h.const(U8, 3))
+
+    def test_mul_by_pow2_not_strength_reduced(self):
+        # crucial difference vs the LLVM mid-end (§2.2)
+        out = canonicalize(h.u16(a) * 2)
+        assert isinstance(out, E.Mul)
+
+    def test_select_lt_becomes_min(self):
+        e = h.select(E.LT(a, b), a, b)
+        assert canonicalize(e) == E.Min(a, b)
+
+    def test_select_gt_becomes_max(self):
+        e = h.select(E.GT(a, b), a, b)
+        assert canonicalize(e) == E.Max(a, b)
+
+    def test_select_unrelated_stays(self):
+        c = h.var("c", U8)
+        e = h.select(E.LT(a, b), a, c)
+        assert canonicalize(e) == e
+
+    def test_widen_chain_collapses(self):
+        e = E.Cast(h.U32, h.u16(a))
+        assert canonicalize(e) == E.Cast(h.U32, a)
+
+    def test_identity_cast_removed(self):
+        e = E.Cast(U8, a)
+        assert canonicalize(e) == a

@@ -1,0 +1,235 @@
+"""Lifting tests: individual rules, Figure 2/4 reproductions, semantics
+preservation of the whole pass."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro import fpir as F
+from repro.analysis import BoundsAnalyzer, Interval
+from repro.interp import evaluate
+from repro.ir import builders as h
+from repro.ir import expr as E
+from repro.ir.expr import free_vars
+from repro.ir.types import I16, I32, U8, U16, U32
+from repro.lifting import Lifter, lift
+from repro.workloads import by_name
+
+a = h.var("a", U8)
+b = h.var("b", U8)
+c = h.var("c", U8)
+
+
+class TestIndividualLifts:
+    def test_widening_add(self):
+        assert lift(h.u16(a) + h.u16(b)) == F.WideningAdd(a, b)
+
+    def test_widening_sub_signed(self):
+        assert lift(h.i16(a) - h.i16(b)) == F.WideningSub(a, b)
+
+    def test_widening_mul(self):
+        assert lift(h.u16(a) * h.u16(b)) == F.WideningMul(a, b)
+
+    def test_widening_mul_pow2_becomes_shl(self):
+        out = lift(h.u16(a) * 4)
+        assert out == F.WideningShl(a, h.const(U8, 2))
+
+    def test_extending_add(self):
+        w = h.var("w", U16)
+        assert lift(w + h.u16(a)) == F.ExtendingAdd(w, a)
+        assert lift(h.u16(a) + w) == F.ExtendingAdd(w, a)
+
+    def test_three_way_add_normal_form(self):
+        # u16(a) + u16(b) + u16(c): one widening add feeding an
+        # extending accumulate — no widening casts survive.
+        out = lift(h.u16(a) + h.u16(b) + h.u16(c))
+        assert out == F.ExtendingAdd(F.WideningAdd(a, b), c)
+
+    def test_figure4_reassociation(self):
+        # The reassociation rule proper: extending_add(extending_add(
+        # x, y), z) -> widening_add(y, z) + x  (exercised by the Sobel
+        # kernel, where the middle term is a widening shift).
+        kernel = h.u16(a) + h.u16(b) * 2 + h.u16(c)
+        out = lift(kernel)
+        assert isinstance(out, E.Add)
+        assert F.WideningAdd(a, c) in list(out.walk())
+
+    def test_saturating_cast_from_min(self):
+        w = h.var("w", U16)
+        assert lift(h.u8(h.minimum(w, 255))) == F.SaturatingNarrow(w)
+
+    def test_saturating_cast_from_clamp(self):
+        x = h.var("x", I16)
+        out = lift(h.u8(h.clamp(x, 0, 255)))
+        assert out == F.SaturatingCast(U8, x)
+
+    def test_saturating_add_fusion(self):
+        out = lift(h.u8(h.minimum(h.u16(a) + h.u16(b), 255)))
+        assert out == F.SaturatingAdd(a, b)
+
+    def test_saturating_sub_fusion(self):
+        out = lift(h.u8(h.clamp(h.i16(a) - h.i16(b), 0, 255)))
+        assert out == F.SaturatingSub(a, b)
+
+    def test_halving_add(self):
+        out = lift(h.u8((h.u16(a) + h.u16(b)) // 2))
+        assert out == F.HalvingAdd(a, b)
+
+    def test_halving_add_shift_form(self):
+        out = lift(h.u8((h.u16(a) + h.u16(b)) >> 1))
+        assert out == F.HalvingAdd(a, b)
+
+    def test_rounding_halving_add(self):
+        out = lift(h.u8((h.u16(a) + h.u16(b) + 1) >> 1))
+        assert out == F.RoundingHalvingAdd(a, b)
+
+    def test_halving_sub(self):
+        x, y = h.var("x", h.I8), h.var("y", h.I8)
+        out = lift(h.i8((h.i16(x) - h.i16(y)) >> 1))
+        assert out == F.HalvingSub(x, y)
+
+    def test_rounding_shr_with_provable_bounds(self):
+        w = h.var("w", U16)
+        analyzer = BoundsAnalyzer({"w": Interval(0, 4080)})
+        out = Lifter().lift((w + 8) >> 4, analyzer).expr
+        assert out == F.RoundingShr(w, h.const(U16, 4))
+
+    def test_rounding_shr_blocked_without_bounds(self):
+        w = h.var("w", U16)  # full range: +8 may overflow
+        out = lift((w + 8) >> 4)
+        assert not any(isinstance(n, F.RoundingShr) for n in out.walk())
+
+    def test_mul_shr(self):
+        x, y = h.var("x", I16), h.var("y", I16)
+        src = h.i16(h.clamp((h.i32(x) * h.i32(y)) >> 12, -32768, 32767))
+        assert lift(src) == F.MulShr(x, y, h.const(U16, 12))
+
+    def test_rounding_mul_shr(self):
+        x, y = h.var("x", I16), h.var("y", I16)
+        src = h.i16(
+            h.clamp((h.i32(x) * h.i32(y) + (1 << 14)) >> 15, -32768, 32767)
+        )
+        assert lift(src) == F.RoundingMulShr(x, y, h.const(U16, 15))
+
+    def test_absd_select(self):
+        out = lift(h.select(E.GT(a, b), a - b, b - a))
+        assert out == F.Absd(a, b)
+
+    def test_absd_maxmin(self):
+        out = lift(h.maximum(a, b) - h.minimum(a, b))
+        assert out == F.Absd(a, b)
+
+    def test_absd_signed_gets_reinterpret(self):
+        x, y = h.var("x", h.I8), h.var("y", h.I8)
+        out = lift(h.select(E.GT(x, y), x - y, y - x))
+        assert out == E.Reinterpret(h.I8, F.Absd(x, y))
+
+    def test_abs(self):
+        x = h.var("x", h.I8)
+        out = lift(h.select(E.GT(x, 0), x, -x))
+        assert out == E.Reinterpret(h.I8, F.Abs(x))
+
+    def test_synthesized_signed_widen_shl(self):
+        # §4.1's rule, from the synthesized set
+        out = lift(h.i16(a) << 6)
+        assert out == E.Reinterpret(
+            I16, F.WideningShl(a, h.const(U8, 6))
+        )
+
+    def test_synthesized_rule_respects_exclusion(self):
+        out = lift(h.i16(a) << 6, exclude_sources={"synth:add"})
+        assert not any(isinstance(n, F.WideningShl) for n in out.walk())
+
+    def test_hand_only_mode(self):
+        out = lift(h.i16(a) << 6, use_synthesized=False)
+        assert not any(isinstance(n, F.WideningShl) for n in out.walk())
+
+
+class TestFigure2:
+    def test_sobel_kernel_lifts_to_figure_2c(self):
+        kernel = h.u16(a) + h.u16(b) * 2 + h.u16(c)
+        out = lift(kernel)
+        assert out == E.Add(
+            F.WideningAdd(a, c),
+            F.WideningShl(b, h.const(U8, 1)),
+        )
+
+    def test_full_sobel_shape(self):
+        wl = by_name("sobel3x3")
+        out = lift(wl.expr)
+        names = {type(n).__name__ for n in out.walk()}
+        assert "SaturatingNarrow" in names or "SaturatingAdd" in names
+        assert "Absd" in names
+        assert "WideningAdd" in names
+        assert "WideningShl" in names
+        # no residual widening casts in the kernel computation
+        assert not any(
+            isinstance(n, E.Cast) and n.to.bits > n.value.type.bits
+            for n in out.walk()
+        )
+
+
+class TestSemanticsPreservation:
+    """The whole lifting pass must be meaning-preserving on every
+    workload — checked lane-exactly on random inputs."""
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "add", "average_pool", "camera_pipe", "conv3x3a16",
+            "depthwise_conv", "fully_connected", "gaussian3x3",
+            "gaussian5x5", "gaussian7x7", "l2norm", "matmul",
+            "max_pool", "mean", "mul", "sobel3x3", "softmax",
+        ],
+    )
+    def test_lift_preserves_semantics(self, name):
+        wl = by_name(name)
+        lifted = Lifter().lift(
+            wl.expr, BoundsAnalyzer(wl.var_bounds)
+        ).expr
+        env = wl.random_env(lanes=32, seed=5)
+        assert evaluate(lifted, env) == evaluate(wl.expr, env)
+
+    def test_lift_preserves_type_and_vars(self):
+        wl = by_name("sobel3x3")
+        lifted = lift(wl.expr)
+        assert lifted.type == wl.expr.type
+        assert set(free_vars(lifted)) <= set(free_vars(wl.expr))
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_lift_random_small_expressions(data):
+    """Property: lifting random expression shapes never changes meaning."""
+    rng_seed = data.draw(st.integers(0, 2**16), label="seed")
+    rng = random.Random(rng_seed)
+    x, y = h.var("x", U8), h.var("y", U8)
+
+    def gen(depth):
+        """Generate a random *u8-typed* expression."""
+        if depth == 0:
+            return rng.choice([x, y, h.const(U8, rng.randrange(256))])
+        op = rng.randrange(6)
+        if op == 0:
+            return h.u8((h.u16(gen(0)) + h.u16(gen(0))) >> 1)
+        if op == 1:
+            return h.u8(h.minimum(h.u16(gen(0)) + h.u16(gen(0)), 255))
+        if op == 2:
+            return h.maximum(gen(depth - 1), gen(depth - 1))
+        if op == 3:
+            le = gen(depth - 1)
+            return le + le
+        if op == 4:
+            m = rng.choice([2, 3, 4, 8])
+            return h.u8(h.minimum(h.u16(gen(0)) * m, 255))
+        return h.minimum(gen(depth - 1), gen(depth - 1))
+
+    expr = gen(2)
+    lifted = lift(expr)
+    env = {
+        "x": [rng.randrange(256) for _ in range(16)],
+        "y": [rng.randrange(256) for _ in range(16)],
+    }
+    assert evaluate(lifted, env) == evaluate(expr, env)

@@ -1,0 +1,91 @@
+"""Robustness fuzzing: the full lift+lower pipeline must terminate and
+preserve semantics on randomly generated well-typed expressions —
+broader shapes than the benchmarks exercise."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro import fpir as F
+from repro.interp import evaluate
+from repro.ir import builders as h
+from repro.ir import expr as E
+from repro.ir.types import I16, U8, U16
+from repro.lifting import lift
+from repro.pipeline import pitchfork_compile
+from repro.targets import ARM, HVX, X86
+
+
+def _gen_u8(rng, depth):
+    """Random u8-typed expression with realistic fixed-point shapes."""
+    if depth == 0:
+        choice = rng.randrange(3)
+        if choice < 2:
+            return h.var(rng.choice("abcd"), U8)
+        return h.const(U8, rng.randrange(256))
+    op = rng.randrange(10)
+    x, y = _gen_u8(rng, depth - 1), _gen_u8(rng, depth - 1)
+    if op == 0:
+        return h.u8((h.u16(x) + h.u16(y)) >> 1)
+    if op == 1:
+        return h.u8((h.u16(x) + h.u16(y) + 1) >> 1)
+    if op == 2:
+        return h.u8(h.minimum(h.u16(x) + h.u16(y), 255))
+    if op == 3:
+        return h.u8(h.minimum(h.u16(x) * rng.choice([2, 3, 4, 8]), 255))
+    if op == 4:
+        return h.maximum(x, y)
+    if op == 5:
+        return h.minimum(x, y)
+    if op == 6:
+        return h.select(E.GT(x, y), x - y, y - x)
+    if op == 7:
+        return x ^ y
+    if op == 8:
+        return h.u8((h.u16(x) + h.u16(y) + 2) >> 2)
+    return F.SaturatingSub(x, y)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 2**20))
+def test_lift_terminates_and_preserves_semantics(seed):
+    rng = random.Random(seed)
+    expr = _gen_u8(rng, rng.randint(1, 3))
+    lifted = lift(expr)  # must terminate (cost-decreasing TRS)
+    env = {
+        n: [rng.randrange(256) for _ in range(8)] for n in "abcd"
+    }
+    assert evaluate(lifted, env) == evaluate(expr, env)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**20))
+def test_full_pipeline_fuzz_all_paper_targets(seed):
+    rng = random.Random(seed)
+    expr = _gen_u8(rng, 2)
+    env = {n: [rng.randrange(256) for _ in range(8)] for n in "abcd"}
+    ref = evaluate(expr, env)
+    for target in (X86, ARM, HVX):
+        prog = pitchfork_compile(expr, target)
+        assert prog.run(env) == ref, target.name
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    x=st.integers(min_value=-32768, max_value=32767),
+    c=st.integers(min_value=0, max_value=14),
+)
+def test_fuzzed_q15_chains(x, c):
+    """Requantization chains with arbitrary shift constants."""
+    xv = h.var("x", I16)
+    expr = h.i16(
+        h.clamp(
+            (h.i32(xv) * h.i32(xv) + (1 << max(0, c - 1))) >> c,
+            -32768,
+            32767,
+        )
+    )
+    prog = pitchfork_compile(expr, ARM)
+    assert prog.run({"x": [x]}) == evaluate(expr, {"x": [x]})

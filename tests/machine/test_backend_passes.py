@@ -1,0 +1,53 @@
+"""Tests for the downstream backend-pass model (the Figure 6 mechanism)."""
+
+import time
+
+from repro.ir import builders as h
+from repro.machine.backend_passes import run_backend_passes
+from repro.pipeline import llvm_compile, pitchfork_compile
+from repro.targets import ARM
+from repro.workloads import by_name
+
+
+class TestPasses:
+    def test_stats_reported(self):
+        prog = pitchfork_compile(
+            h.u16(h.var("a", h.U8)) + h.u16(h.var("b", h.U8)), ARM
+        ).lowered
+        stats = run_backend_passes(prog, rounds=2)
+        assert stats["values"] >= 1
+        assert stats["nodes"] == prog.size
+        assert stats["spills"] == 0
+
+    def test_value_numbering_counts_distinct(self):
+        a, b = h.var("a", h.U8), h.var("b", h.U8)
+        shared = h.u16(a) + h.u16(b)
+        prog = pitchfork_compile(
+            h.u8(h.minimum(shared + shared, 255)), ARM
+        ).lowered
+        stats = run_backend_passes(prog, rounds=1)
+        assert stats["values"] < prog.size * 2
+
+    def test_time_scales_with_program_size(self):
+        small = pitchfork_compile(
+            h.u16(h.var("a", h.U8)) + h.u16(h.var("b", h.U8)), ARM
+        ).lowered
+        big_wl = by_name("softmax")
+        big = llvm_compile(
+            big_wl.expr, ARM, var_bounds=big_wl.var_bounds
+        ).lowered
+
+        def t(prog):
+            t0 = time.perf_counter()
+            run_backend_passes(prog, rounds=20)
+            return time.perf_counter() - t0
+
+        assert t(big) > t(small)
+
+    def test_pitchfork_emits_less_ir_than_llvm(self):
+        """The Figure 6 mechanism: smaller lowered programs."""
+        for name in ("sobel3x3", "softmax", "camera_pipe"):
+            wl = by_name(name)
+            pf = pitchfork_compile(wl.expr, ARM, var_bounds=wl.var_bounds)
+            ll = llvm_compile(wl.expr, ARM, var_bounds=wl.var_bounds)
+            assert len(pf.instructions) < len(ll.instructions), name

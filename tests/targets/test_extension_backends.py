@@ -1,0 +1,130 @@
+"""§8 extension backends: WebAssembly SIMD128 and RISC-V Vector.
+
+"Supporting WebAssembly, PowerPC, x86 variants, and ARM32 required no
+extensions to FPIR" — these tests demonstrate that: the same lifted FPIR
+compiles and executes lane-exactly on backends the paper's evaluation
+never touched, using only new lowering rule sets.
+"""
+
+import pytest
+
+from repro import fpir as F
+from repro.analysis import BoundsAnalyzer, Interval
+from repro.interp import evaluate
+from repro.ir import builders as h
+from repro.ir.types import I16, U8, U16
+from repro.machine.lowerer import Lowerer
+from repro.pipeline import pitchfork_compile
+from repro.targets import POWERPC, RISCV, WASM
+from repro.workloads import WORKLOADS, by_name
+
+
+@pytest.mark.parametrize("target", [WASM, RISCV, POWERPC], ids=lambda t: t.name)
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_all_workloads_end_to_end(name, target):
+    wl = by_name(name)
+    prog = pitchfork_compile(wl.expr, target, var_bounds=wl.var_bounds)
+    env = wl.random_env(lanes=16, seed=77)
+    assert prog.run(env) == evaluate(wl.expr, env)
+
+
+class TestWasm:
+    def test_q15mulr_deterministic_fallback(self):
+        """§8.3: without a bounds proof the deterministic saturating form
+        must be chosen, not the relaxed one."""
+        node = F.RoundingMulShr(
+            h.var("x", I16), h.var("y", I16), h.const(I16, 15)
+        )
+        prog = pitchfork_compile(node, WASM)
+        assert prog.instructions == ["q15mulr_sat_s"]
+
+    def test_relaxed_q15mulr_with_bounds_proof(self):
+        """§8.3: with INT16_MIN provably excluded, the relaxed (cheaper)
+        instruction becomes deterministic and is selected."""
+        node = F.RoundingMulShr(
+            h.var("x", I16), h.var("y", I16), h.const(I16, 15)
+        )
+        bounds = {"x": Interval(-32767, 32767)}
+        prog = pitchfork_compile(node, WASM, var_bounds=bounds)
+        assert prog.instructions == ["relaxed_q15mulr_s"]
+        # and it is cheaper than the saturating form
+        plain = pitchfork_compile(node, WASM)
+        assert prog.cost().total < plain.cost().total
+
+    def test_avgr_native(self):
+        prog = pitchfork_compile(
+            F.RoundingHalvingAdd(h.var("a", U8), h.var("b", U8)), WASM
+        )
+        assert prog.instructions == ["avgr_u"]
+
+    def test_halving_add_shares_x86_magic(self):
+        """§3.1.1: x86, WebAssembly and PowerPC share the fast
+        non-widening halving_add emulation."""
+        prog = pitchfork_compile(
+            F.HalvingAdd(h.var("a", U8), h.var("b", U8)), WASM
+        )
+        names = prog.instructions
+        assert any("and" in n for n in names)
+        assert any("xor" in n for n in names)
+        assert not any("extend" in n for n in names)  # non-widening!
+
+    def test_dot_product(self):
+        a0, w0 = h.var("a0", I16), h.var("w0", I16)
+        a1, w1 = h.var("a1", I16), h.var("w1", I16)
+        expr = F.WideningMul(a0, w0) + F.WideningMul(a1, w1)
+        prog = pitchfork_compile(expr, WASM)
+        assert prog.instructions == ["dot_i16x8_s"]
+
+
+class TestRiscV:
+    def test_both_average_rounding_modes_native(self):
+        """§8.2: RVV supports round-up AND round-down averaging."""
+        a, b = h.var("a", U8), h.var("b", U8)
+        down = pitchfork_compile(F.HalvingAdd(a, b), RISCV)
+        up = pitchfork_compile(F.RoundingHalvingAdd(a, b), RISCV)
+        assert down.instructions == ["vaadd[rdn]"]
+        assert up.instructions == ["vaadd[rnu]"]
+
+    def test_vsmul_is_single_instruction(self):
+        node = F.RoundingMulShr(
+            h.var("x", I16), h.var("y", I16), h.const(I16, 15)
+        )
+        prog = pitchfork_compile(node, RISCV)
+        assert prog.instructions == ["vsmul"]
+
+    def test_vnclip_fuses_rounding_narrow(self):
+        w = h.var("w", U16)
+        node = F.SaturatingNarrow(F.RoundingShr(w, h.const(U16, 4)))
+        prog = pitchfork_compile(node, RISCV)
+        assert prog.instructions == ["vnclip[rnu]"]
+
+    def test_mixed_sign_widening_multiply(self):
+        # vwmulsu: signed x unsigned, no other ISA here has it
+        node = F.WideningMul(h.var("x", h.I8), h.var("y", U8))
+        prog = pitchfork_compile(node, RISCV)
+        assert prog.instructions == ["vwmul"]
+
+    def test_q31_multiply_needs_no_64bit(self):
+        wl = by_name("mul")
+        prog = pitchfork_compile(wl.expr, RISCV, var_bounds=wl.var_bounds)
+        assert "vsmul" in prog.instructions
+        assert len(prog.instructions) <= 3
+
+    def test_rounding_halving_sub_stays_excluded(self):
+        """§8.2: RVV's vasub[rnu] (rounding halving sub) exists in
+        hardware but is deliberately NOT in FPIR — no rule may target
+        a rounding-subtract-average instruction."""
+        for rule in RISCV.lowering_rules:
+            assert "vasub[rnu]" not in repr(rule.rhs)
+
+
+class TestNoFpirExtensionsNeeded:
+    def test_rule_sets_only_reference_existing_fpir(self):
+        from repro.fpir.ops import FPIR_OPS, FPIRInstr
+
+        known = set(FPIR_OPS.values())
+        for target in (WASM, RISCV, POWERPC):
+            for rule in target.lowering_rules:
+                for node in rule.lhs.walk():
+                    if isinstance(node, FPIRInstr):
+                        assert type(node) in known

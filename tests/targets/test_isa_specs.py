@@ -1,0 +1,151 @@
+"""Target ISA model tests: specs, target ops, generic mapping."""
+
+import pytest
+
+from repro import fpir as F
+from repro.ir import builders as h
+from repro.ir import expr as E
+from repro.ir.types import BOOL, I16, I64, U8, U16, U64
+from repro.interp import evaluate
+from repro.targets import ALL_TARGETS, ARM, HVX, X86, by_name, target_op
+from repro.targets.generic import UnsupportedType
+from repro.targets.isa import is_lowered
+from repro.targets import arm as arm_mod
+
+a = h.var("a", U8)
+b = h.var("b", U8)
+
+
+class TestTargetDescs:
+    def test_register_widths(self):
+        assert X86.desc.register_bits == 256
+        assert ARM.desc.register_bits == 128
+        assert HVX.desc.register_bits == 1024
+
+    def test_natural_lanes_match_paper_schedules(self):
+        # §2.2: "vector-widths of 16, 32 and 128 for ARM, x86 and HVX"
+        assert ARM.desc.natural_lanes == 16
+        assert X86.desc.natural_lanes == 32
+        assert HVX.desc.natural_lanes == 128
+
+    def test_hvx_has_no_64bit(self):
+        assert HVX.desc.max_elem_bits == 32
+
+    def test_by_name(self):
+        assert by_name("arm-neon") is ARM
+        with pytest.raises(ValueError):
+            by_name("riscv")
+
+    def test_all_targets(self):
+        assert set(ALL_TARGETS) == {
+            "x86-avx2", "arm-neon", "hexagon-hvx",
+            "wasm-simd128", "riscv-rvv", "powerpc-vsx",
+        }
+
+    def test_paper_targets(self):
+        from repro.targets import PAPER_TARGETS
+
+        assert [t.name for t in PAPER_TARGETS] == [
+            "x86-avx2", "arm-neon", "hexagon-hvx",
+        ]
+
+
+class TestTargetOps:
+    def test_target_op_children_and_type(self):
+        op = target_op(arm_mod.UADDL, U16, a, b)
+        assert op.type == U16
+        assert op.operands == (a, b)
+        assert op.spec.name == "uaddl"
+
+    def test_target_op_equality(self):
+        x = target_op(arm_mod.UADDL, U16, a, b)
+        y = target_op(arm_mod.UADDL, U16, a, b)
+        assert x == y and hash(x) == hash(y)
+        assert x != target_op(arm_mod.SADDL, U16, a, b)
+
+    def test_reference_semantics_evaluates(self):
+        op = target_op(arm_mod.UADDL, U16, a, b)
+        sem = op.reference_semantics()
+        assert sem == F.WideningAdd(a, b)
+
+    def test_execution_through_interpreter(self):
+        op = target_op(arm_mod.UQADD, U8, a, b)
+        out = evaluate(op, {"a": [200], "b": [100]})
+        assert out == [255]
+
+    def test_fused_spec_semantics(self):
+        acc = h.var("acc", U16)
+        op = target_op(arm_mod.UMLAL, U16, acc, a, b)
+        out = evaluate(op, {"acc": [100], "a": [10], "b": [10]})
+        assert out == [200]
+
+    def test_is_lowered(self):
+        assert is_lowered(target_op(arm_mod.UADDL, U16, a, b))
+        assert not is_lowered(E.Add(a, b))
+
+
+class TestGenericMapping:
+    def test_core_ops_map(self):
+        node = E.Add(a, b)
+        op = ARM.generic.map_node(node)
+        assert op.spec.isa == "arm-neon"
+        assert evaluate(op, {"a": [3], "b": [4]}) == [7]
+
+    def test_spec_cache(self):
+        s1 = ARM.generic.spec_for(E.Add(a, b))
+        s2 = ARM.generic.spec_for(E.Add(b, a))
+        assert s1 is s2
+
+    def test_mnemonics_reflect_type(self):
+        assert "16b" in ARM.generic.spec_for(E.Add(a, b)).name
+        w = h.var("w", U16)
+        assert "8h" in ARM.generic.spec_for(E.Add(w, w)).name
+
+    def test_cast_specs(self):
+        widen = ARM.generic.spec_for(E.Cast(U16, a))
+        assert widen.cost > 0
+        reinterpret = ARM.generic.spec_for(E.Reinterpret(h.I8, a))
+        assert reinterpret.cost == 0
+
+    def test_hvx_rejects_64bit(self):
+        x = h.var("x", I64)
+        with pytest.raises(UnsupportedType):
+            HVX.generic.spec_for(E.Add(x, x))
+
+    def test_arm_allows_64bit(self):
+        x = h.var("x", I64)
+        assert ARM.generic.spec_for(E.Add(x, x)).cost > 0
+
+    def test_cmp_select_use_data_width(self):
+        w = h.var("w", U16)
+        cmp_spec = ARM.generic.spec_for(E.LT(w, w))
+        assert "8h" in cmp_spec.name
+
+
+class TestRuleSets:
+    @pytest.mark.parametrize("target", [X86, ARM, HVX], ids=lambda t: t.name)
+    def test_rule_names_unique(self, target):
+        names = [r.name for r in target.lowering_rules]
+        assert len(names) == len(set(names))
+
+    def test_arm_has_five_rule_classes(self):
+        names = {r.name for r in ARM.lowering_rules}
+        assert "arm-umlal" in names  # fused
+        assert "arm-uaddl" in names  # direct
+        assert "arm-rshrn-predicated" in names  # predicated
+        assert "arm-sqrdmulh-16" in names  # specific constants
+        # compound lowerings live on x86 (ARM implements most of FPIR)
+
+    def test_x86_compound_rules_exist(self):
+        names = {r.name for r in X86.lowering_rules}
+        assert "x86-halving-add-magic" in names
+        assert "x86-absd-unsigned" in names
+        assert "x86-vpackus-predicated" in names
+
+    def test_hvx_synth_rules_tagged(self):
+        synth = [r for r in HVX.lowering_rules if r.is_synthesized]
+        assert len(synth) >= 6
+
+    def test_rake_extras_only_on_rake_targets(self):
+        assert X86.rake_extra_rules == []
+        assert len(HVX.rake_extra_rules) >= 1

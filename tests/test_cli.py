@@ -1,0 +1,67 @@
+"""CLI tests (`python -m repro`)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCompile:
+    def test_compile_single_target(self, capsys):
+        assert main(["compile", "sobel3x3", "--target", "arm-neon"]) == 0
+        out = capsys.readouterr().out
+        assert "umlal" in out and "uabd" in out
+
+    def test_compile_with_comparison(self, capsys):
+        assert main(
+            ["compile", "add", "--target", "hexagon-hvx", "--compare"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "PITCHFORK" in out and "LLVM" in out and "faster" in out
+
+    def test_compile_show_fpir(self, capsys):
+        assert main(
+            ["compile", "mul", "--target", "arm-neon", "--show-fpir"]
+        ) == 0
+        assert "rounding_mul_shr" in capsys.readouterr().out
+
+    def test_compile_every_backend(self, capsys):
+        assert main(["compile", "max_pool", "--target", "every"]) == 0
+        out = capsys.readouterr().out
+        for name in ("x86-avx2", "arm-neon", "hexagon-hvx",
+                     "wasm-simd128", "riscv-rvv"):
+            assert name in out
+
+    def test_q31_substitution_note(self, capsys):
+        assert main(
+            ["compile", "mul", "--target", "hexagon-hvx", "--compare"]
+        ) == 0
+        assert "q31 substitution" in capsys.readouterr().out
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["compile", "not_a_benchmark"])
+
+
+class TestOtherCommands:
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") == 16
+
+    def test_rules_summary(self, capsys):
+        assert main(["rules"]) == 0
+        out = capsys.readouterr().out
+        assert "lifting (hand)" in out and "total:" in out
+
+    def test_rules_verbose(self, capsys):
+        assert main(["rules", "--verbose"]) == 0
+        assert "lift-widening-add" in capsys.readouterr().out
+
+    def test_synthesize(self, capsys):
+        assert main(["synthesize", "add", "--max-candidates", "10"]) == 0
+        assert "corpus:" in capsys.readouterr().out
+
+    def test_evaluate_fig3(self, capsys):
+        assert main(["evaluate", "fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3(a)" in out or "(a)" in out

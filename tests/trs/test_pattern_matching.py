@@ -1,0 +1,154 @@
+"""Unit tests for the pattern matcher and type unification."""
+
+import pytest
+
+from repro import fpir as F
+from repro.ir import builders as h
+from repro.ir import expr as E
+from repro.ir.types import I8, I16, U8, U16, U32
+from repro.trs.matcher import Match, instantiate, match
+from repro.trs.pattern import (
+    ConstWild,
+    PConst,
+    TNarrow,
+    TVar,
+    TWiden,
+    TWithSign,
+    Wild,
+    resolve_type,
+)
+
+a = h.var("a", U8)
+b = h.var("b", U8)
+w = h.var("w", U16)
+
+
+class TestWildcards:
+    def test_wild_matches_any_expr(self):
+        pat = Wild("x", TVar("T"))
+        m = match(pat, E.Add(a, b))
+        assert m is not None
+        assert m.env["x"] == E.Add(a, b)
+        assert m.tenv["T"] == U8
+
+    def test_wild_type_constraint(self):
+        pat = Wild("x", TVar("T", signed=True))
+        assert match(pat, a) is None  # a is unsigned
+        assert match(pat, h.var("s", I8)) is not None
+
+    def test_repeated_wild_requires_equality(self):
+        T = TVar("T")
+        pat = E.Add(Wild("x", T), Wild("x", T))
+        assert match(pat, E.Add(a, a)) is not None
+        assert match(pat, E.Add(a, b)) is None
+
+    def test_const_wild_matches_only_constants(self):
+        pat = ConstWild("c", TVar("T"))
+        m = match(pat, h.const(U8, 7))
+        assert m is not None and m.consts["c"] == 7
+        assert match(pat, a) is None
+
+    def test_pconst_literal_in_lhs(self):
+        pat = E.Mul(Wild("x", TVar("T")), PConst(TVar("T"), 2))
+        assert match(pat, a * 2) is not None
+        assert match(pat, a * 3) is None
+
+
+class TestTypeUnification:
+    def test_widen_inverts(self):
+        pat = E.Cast(TWiden(TVar("T")), Wild("x", TVar("T")))
+        m = match(pat, h.u16(a))
+        assert m is not None and m.tenv["T"] == U8
+
+    def test_widen_sign_consistent(self):
+        # i16 is not the same-sign widening of u8
+        pat = E.Cast(TWiden(TVar("T")), Wild("x", TVar("T")))
+        assert match(pat, E.Cast(I16, a)) is None
+
+    def test_with_sign(self):
+        # TWithSign needs a sign-constrained inner pattern to be
+        # unambiguous (i16 could come from widening u8 or i8).
+        Tu = TVar("T", signed=False)
+        pat = E.Cast(TWithSign(TWiden(Tu), True), Wild("x", Tu))
+        m = match(pat, E.Cast(I16, a))
+        assert m is not None and m.tenv["T"] == U8
+
+    def test_with_sign_rejects_wrong_inner_sign(self):
+        Ts = TVar("T", signed=True)
+        pat = E.Cast(TWithSign(TWiden(Ts), True), Wild("x", Ts))
+        assert match(pat, E.Cast(I16, a)) is None  # a is u8, inner wants i8
+
+    def test_conflicting_bindings_fail(self):
+        T = TVar("T")
+        pat = E.Add(Wild("x", T), Wild("y", T))
+        # Add requires equal types anyway; use Shl's sign mismatch:
+        pat2 = E.Shl(Wild("x", TVar("T")), Wild("y", TVar("T")))
+        s = h.var("s", I8)
+        assert match(pat2, E.Shl(a, s)) is None  # u8 vs i8 for same T
+
+    def test_resolve_type(self):
+        tenv = {"T": U8}
+        assert resolve_type(TWiden(TVar("T")), tenv) == U16
+        assert resolve_type(TWithSign(TVar("T"), True), tenv) == I8
+        assert resolve_type(TNarrow(TWiden(TVar("T"))), tenv) == U8
+        with pytest.raises(KeyError):
+            resolve_type(TVar("U"), tenv)
+
+
+class TestInstantiation:
+    def test_basic_substitution(self):
+        T = TVar("T")
+        lhs = E.Add(Wild("x", T), Wild("y", T))
+        rhs = F.WideningAdd(Wild("x", T), Wild("y", T))
+        m = match(lhs, E.Add(a, b))
+        out = instantiate(rhs, m)
+        assert out == F.WideningAdd(a, b)
+        assert out.type == U16
+
+    def test_computed_constants(self):
+        lhs = E.Mul(Wild("x", TVar("T")), ConstWild("c", TVar("T")))
+        rhs = E.Shl(
+            Wild("x", TVar("T")),
+            PConst(TVar("T"), lambda c: c["c"].bit_length() - 1),
+        )
+        m = match(lhs, a * 8)
+        assert instantiate(rhs, m) == E.Shl(a, h.const(U8, 3))
+
+    def test_type_dependent_constant(self):
+        lhs = Wild("x", TVar("T"))
+        rhs = E.BitXor(
+            Wild("x", TVar("T")),
+            PConst(TVar("T"), lambda c, tenv: 1 << (tenv["T"].bits - 1)),
+        )
+        m = match(lhs, a)
+        out = instantiate(rhs, m)
+        assert out.b == h.const(U8, 128)
+
+    def test_unbound_wildcard_raises(self):
+        m = Match(env={}, tenv={"T": U8})
+        with pytest.raises(KeyError):
+            instantiate(Wild("nope", TVar("T")), m)
+
+    def test_resolved_cast_target(self):
+        lhs = Wild("x", TVar("T", min_bits=16))
+        rhs = E.Cast(TNarrow(TVar("T")), Wild("x", TVar("T")))
+        m = match(lhs, w)
+        assert instantiate(rhs, m) == E.Cast(U8, w)
+
+
+class TestStructuralMatching:
+    def test_nested_fpir_pattern(self):
+        T = TVar("T")
+        pat = F.SaturatingNarrow(F.WideningAdd(Wild("x", T), Wild("y", T)))
+        expr = F.SaturatingNarrow(F.WideningAdd(a, b))
+        assert match(pat, expr) is not None
+
+    def test_class_mismatch(self):
+        T = TVar("T")
+        pat = E.Add(Wild("x", T), Wild("y", T))
+        assert match(pat, E.Sub(a, b)) is None
+
+    def test_non_expr_field_mismatch(self):
+        pat = E.Cast(U16, Wild("x", TVar("T")))
+        assert match(pat, E.Cast(U32, E.Cast(U16, a))) is None
+        assert match(pat, h.u16(a)) is not None

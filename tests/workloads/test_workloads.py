@@ -1,0 +1,124 @@
+"""Workload sanity tests: the 16 benchmarks are well-formed and stress
+the fixed-point idioms they claim to."""
+
+import pytest
+
+from repro import fpir as F
+from repro.interp import evaluate
+from repro.ir import expr as E
+from repro.ir.types import ScalarType
+from repro.lifting import lift
+from repro.workloads import WORKLOADS, all_workloads, by_name
+
+
+class TestRegistry:
+    def test_sixteen_benchmarks(self):
+        # "16 of Rake's 21 benchmarks perform fixed-point computation"
+        assert len(WORKLOADS) == 16
+        assert len(all_workloads()) == 16
+
+    def test_unique_names(self):
+        assert len(set(WORKLOADS)) == 16
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            by_name("fir128")
+
+    def test_cached_instances(self):
+        assert by_name("add") is by_name("add")
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+class TestWellFormed:
+    def test_expression_is_concrete(self, name):
+        wl = by_name(name)
+        for node in wl.expr.walk():
+            assert isinstance(node.type, ScalarType)
+
+    def test_evaluates_on_random_inputs(self, name):
+        wl = by_name(name)
+        env = wl.random_env(lanes=8, seed=1)
+        out = evaluate(wl.expr, env)
+        assert len(out) == 8
+        for v in out:
+            assert wl.expr.type.contains(v)
+
+    def test_deterministic_env(self, name):
+        wl = by_name(name)
+        assert wl.random_env(lanes=4, seed=9) == wl.random_env(
+            lanes=4, seed=9
+        )
+
+    def test_inputs_have_declared_bounds_types(self, name):
+        wl = by_name(name)
+        input_names = {v.name for v in wl.inputs}
+        for bname in wl.var_bounds:
+            assert bname in input_names
+
+    def test_has_description_and_category(self, name):
+        wl = by_name(name)
+        assert wl.description
+        assert wl.category in ("image", "ml", "vision", "arith")
+
+
+class TestIdiomCoverage:
+    """Each benchmark must actually contain the idioms the paper credits
+    it with (checked on the lifted form)."""
+
+    def lifted_classes(self, name):
+        wl = by_name(name)
+        from repro.analysis import BoundsAnalyzer
+        from repro.lifting import Lifter
+
+        out = Lifter().lift(wl.expr, BoundsAnalyzer(wl.var_bounds)).expr
+        return {type(n) for n in out.walk()}
+
+    def test_sobel_has_absd(self):
+        assert F.Absd in self.lifted_classes("sobel3x3")
+
+    def test_camera_pipe_has_rounding_average(self):
+        assert F.RoundingHalvingAdd in self.lifted_classes("camera_pipe")
+
+    def test_quantized_benches_have_rounding_mul_shr(self):
+        for name in ("mul", "depthwise_conv", "matmul", "softmax"):
+            assert F.RoundingMulShr in self.lifted_classes(name), name
+
+    def test_l2norm_has_rounding_mul_shr(self):
+        assert F.RoundingMulShr in self.lifted_classes("l2norm")
+
+    def test_gaussians_have_widening_ops(self):
+        for name in ("gaussian3x3", "gaussian5x5", "gaussian7x7"):
+            classes = self.lifted_classes(name)
+            assert F.WideningShl in classes or F.WideningMul in classes
+
+    def test_fully_connected_has_mul_shr(self):
+        assert F.MulShr in self.lifted_classes("fully_connected")
+
+    def test_add_has_rounding_shift(self):
+        classes = self.lifted_classes("add")
+        assert F.RoundingShr in classes or F.RoundingHalvingAdd in classes
+
+    def test_64bit_benches_use_i64_in_primitive_form(self):
+        # §5.1: depthwise_conv, matmul and mul need 64-bit types when
+        # written with primitive integer operations...
+        for name in ("depthwise_conv", "matmul", "mul"):
+            wl = by_name(name)
+            assert any(
+                isinstance(n.type, ScalarType) and n.type.bits == 64
+                for n in wl.expr.walk()
+            ), name
+
+    def test_64bit_benches_lift_into_32bit(self):
+        # ...but PITCHFORK's lifted form stays within 32 bits.
+        from repro.analysis import BoundsAnalyzer
+        from repro.lifting import Lifter
+
+        for name in ("depthwise_conv", "matmul", "mul"):
+            wl = by_name(name)
+            lifted = Lifter().lift(
+                wl.expr, BoundsAnalyzer(wl.var_bounds)
+            ).expr
+            assert all(
+                not isinstance(n.type, ScalarType) or n.type.bits <= 32
+                for n in lifted.walk()
+            ), name
