@@ -13,6 +13,7 @@ import pytest
 from conftest import register_lazy_report
 from repro.evaluation.compile_time import (
     CompileTimeEvaluation,
+    format_pass_breakdown,
     measure_one,
 )
 from repro.pipeline import llvm_compile, pitchfork_compile, rake_compile
@@ -65,4 +66,18 @@ def _fig6_report():
 
 register_lazy_report(
     "Figure 6: compile-time speedup over LLVM", _fig6_report
+)
+
+
+def _pass_breakdown_report():
+    if not _EVAL.results:
+        return "(no results collected)"
+    return (
+        "Aggregated over every workload x target PITCHFORK compile:\n"
+        + format_pass_breakdown(_EVAL.results)
+    )
+
+
+register_lazy_report(
+    "Per-pass compile-time breakdown (PassManager)", _pass_breakdown_report
 )

@@ -42,6 +42,9 @@ def cmd_compile(args) -> int:
             print(f"-- lifted FPIR:\n{pf.lifted}")
         print(f"-- PITCHFORK ({pf.cost().total:.1f} modelled cycles/vec):")
         print(pf.assembly())
+        if args.stats:
+            print("-- per-pass breakdown:")
+            print(pf.stats.format_table())
         if args.compare:
             try:
                 ll = llvm_compile(wl.expr, target, var_bounds=wl.var_bounds)
@@ -179,6 +182,8 @@ def main(argv=None) -> int:
     p.add_argument("--rake", action="store_true",
                    help="also run the Rake oracle (ARM/HVX)")
     p.add_argument("--show-fpir", action="store_true")
+    p.add_argument("--stats", action="store_true",
+                   help="print the per-pass timing/rewrite breakdown")
     p.set_defaults(fn=cmd_compile)
 
     p = sub.add_parser("evaluate", help="regenerate a paper figure")

@@ -75,6 +75,9 @@ class BoundsAnalyzer:
 
     def __init__(self, var_bounds: Optional[Dict[str, Interval]] = None):
         self.var_bounds = dict(var_bounds or {})
+        # Keyed structurally; with hash-cons interning (repro.ir.expr)
+        # lookups degenerate to identity hits, so repeated bounds queries
+        # on shared subtrees cost one dict probe each.
         self._cache: Dict[E.Expr, Interval] = {}
 
     # ------------------------------------------------------------------

@@ -15,6 +15,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..passes import CompileStats
 from ..pipeline import LLVMCompileError, llvm_compile, pitchfork_compile
 from ..targets import ARM, HVX, X86, Target
 from ..workloads import Workload, all_workloads
@@ -22,6 +23,8 @@ from ..workloads import Workload, all_workloads
 __all__ = [
     "CompileTimeResult",
     "CompileTimeEvaluation",
+    "aggregate_pass_breakdown",
+    "format_pass_breakdown",
     "run_compile_time_evaluation",
 ]
 
@@ -32,6 +35,8 @@ class CompileTimeResult:
     target: str
     llvm_seconds: float
     pitchfork_seconds: float
+    #: per-pass breakdown of one representative PITCHFORK compile
+    stats: Optional[CompileStats] = None
 
     @property
     def speedup(self) -> float:
@@ -68,6 +73,43 @@ class CompileTimeEvaluation:
         return "\n".join(lines)
 
 
+def aggregate_pass_breakdown(
+    results: List[CompileTimeResult],
+) -> Dict[str, Dict[str, float]]:
+    """Sum per-pass wall time and rewrite counts across results.
+
+    Returns ``{pass_name: {"seconds": ..., "rewrites": ...}}`` in pipeline
+    order, aggregated over every result that carries a
+    :class:`~repro.passes.CompileStats`.
+    """
+    agg: Dict[str, Dict[str, float]] = {}
+    for r in results:
+        if r.stats is None:
+            continue
+        for p in r.stats.passes:
+            slot = agg.setdefault(p.name, {"seconds": 0.0, "rewrites": 0})
+            slot["seconds"] += p.seconds
+            slot["rewrites"] += p.rewrites
+    return agg
+
+
+def format_pass_breakdown(results: List[CompileTimeResult]) -> str:
+    """Render the aggregated per-pass breakdown as a small table."""
+    agg = aggregate_pass_breakdown(results)
+    if not agg:
+        return "(no per-pass stats collected)"
+    total = sum(v["seconds"] for v in agg.values())
+    lines = [f"{'pass':<14} {'ms':>9} {'share':>6} {'rewrites':>9}"]
+    for name, v in agg.items():
+        share = v["seconds"] / total if total else 0.0
+        lines.append(
+            f"{name:<14} {v['seconds'] * 1000:>9.1f} {share:>5.0%} "
+            f"{int(v['rewrites']):>9}"
+        )
+    lines.append(f"{'total':<14} {total * 1000:>9.1f}")
+    return "\n".join(lines)
+
+
 def _timed_best_of(fn, repeats: int) -> float:
     best = math.inf
     for _ in range(repeats):
@@ -81,8 +123,11 @@ def measure_one(
     wl: Workload, target: Target, repeats: int = 3
 ) -> CompileTimeResult:
     """Best-of-N wall-clock compile times for both flows on one case."""
+    last_stats: List[Optional[CompileStats]] = [None]
+
     def do_pf():
-        pitchfork_compile(wl.expr, target, var_bounds=wl.var_bounds)
+        prog = pitchfork_compile(wl.expr, target, var_bounds=wl.var_bounds)
+        last_stats[0] = prog.stats
 
     def do_llvm():
         try:
@@ -97,6 +142,7 @@ def measure_one(
         target=target.name,
         llvm_seconds=_timed_best_of(do_llvm, repeats),
         pitchfork_seconds=_timed_best_of(do_pf, repeats),
+        stats=last_stats[0],
     )
 
 

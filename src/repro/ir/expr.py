@@ -2,8 +2,10 @@
 
 This is the fragment of Halide IR that PITCHFORK consumes: already-vectorized
 integer expressions built from primitive arithmetic, comparisons, selects and
-casts.  Every node is immutable; structural equality and hashing are cached so
-the term-rewriting engine can detect fixed points cheaply.
+casts.  Every node is immutable and hash-consed: constructing a node returns
+the canonical instance for its structure, so structurally-equal expressions
+are reference-equal and the term-rewriting engine detects fixed points, hits
+memo caches, and value-numbers programs in O(1) per node.
 
 Semantics follow Halide's documented integer semantics:
 
@@ -26,6 +28,7 @@ concrete.
 
 from __future__ import annotations
 
+import weakref
 from typing import Iterator, Optional, Sequence, Tuple
 
 from .types import BOOL, ScalarType
@@ -71,32 +74,82 @@ def _is_concrete(t: object) -> bool:
     return isinstance(t, ScalarType)
 
 
-class Expr:
+#: Hash-cons table: structural key -> the canonical node for that key.
+#: Weak on the values so expressions die with their last outside reference.
+_INTERN: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
+
+
+class _ExprMeta(type):
+    """Metaclass implementing hash-cons interning of expression nodes.
+
+    Constructing a node returns *the* canonical instance for its structural
+    key, so structurally-equal expressions are reference-equal.  That makes
+    fixed-point checks, cache lookups and value numbering O(1) per node —
+    the foundation of the memoized compile pipeline.
+
+    A node is interned only when its class opts in (``_internable``, off
+    for the rewriter's pattern leaves whose ``_key`` deliberately omits
+    their type pattern) and every child is itself canonical (rule patterns
+    embed wildcard leaves in otherwise-concrete nodes).
+    """
+
+    def __call__(cls, *args, **kwargs):
+        obj = super().__call__(*args, **kwargs)
+        if not cls._internable:
+            return obj
+        for c in obj.children:
+            if not getattr(c, "_canon", False):
+                return obj
+        key = obj._key()
+        try:
+            canon = _INTERN.get(key)
+        except TypeError:  # unhashable field value: skip interning
+            return obj
+        if canon is not None:
+            return canon
+        object.__setattr__(obj, "_canon", True)
+        _INTERN[key] = obj
+        return obj
+
+
+class Expr(metaclass=_ExprMeta):
     """Base class for all IR nodes (core IR, FPIR, patterns, target ops).
 
     Subclasses define ``_fields``: the constructor-argument names in order.
     Fields whose values are :class:`Expr` instances are the node's children.
+
+    Instances are immutable and hash-consed (see :class:`_ExprMeta`); the
+    ``_hash``/``_size``/``_cost`` slots lazily cache per-node derived data.
     """
 
-    __slots__ = ("_hash", "_size")
+    __slots__ = (
+        "_hash", "_size", "_cost", "_children", "_canon", "__weakref__"
+    )
 
     _fields: Tuple[str, ...] = ()
+
+    #: classes may opt out of hash-cons interning (pattern leaves do)
+    _internable = True
 
     # -- identity ------------------------------------------------------
     def _key(self) -> tuple:
         return (type(self),) + tuple(getattr(self, f) for f in self._fields)
 
     def __hash__(self) -> int:
-        h = getattr(self, "_hash", None)
-        if h is None:
+        try:
+            return self._hash
+        except AttributeError:
             h = hash(self._key())
             object.__setattr__(self, "_hash", h)
-        return h
+            return h
 
     def __eq__(self, other: object) -> bool:
         if self is other:
             return True
         if type(self) is not type(other):
+            return False
+        # Two distinct canonical (interned) nodes are never equal.
+        if getattr(self, "_canon", False) and getattr(other, "_canon", False):
             return False
         if hash(self) != hash(other):
             return False
@@ -113,9 +166,16 @@ class Expr:
 
     @property
     def children(self) -> Tuple["Expr", ...]:
-        return tuple(
-            v for f in self._fields if isinstance(v := getattr(self, f), Expr)
-        )
+        try:
+            return self._children
+        except AttributeError:
+            c = tuple(
+                v
+                for f in self._fields
+                if isinstance(v := getattr(self, f), Expr)
+            )
+            object.__setattr__(self, "_children", c)
+        return c
 
     def with_children(self, new_children: Sequence["Expr"]) -> "Expr":
         """Rebuild this node with replacement children (same arity)."""

@@ -12,6 +12,7 @@ from .expr import Expr, Var
 
 __all__ = [
     "transform_bottom_up",
+    "transform_bottom_up_memo",
     "transform_top_down",
     "substitute_vars",
     "count_nodes",
@@ -33,6 +34,33 @@ def transform_bottom_up(
         expr = expr.with_children(new_children)
     replaced = fn(expr)
     return expr if replaced is None else replaced
+
+
+def transform_bottom_up_memo(
+    expr: Expr, fn: Callable[[Expr], Optional[Expr]], memo: Dict[Expr, Expr]
+) -> Expr:
+    """:func:`transform_bottom_up` with per-subtree memoization.
+
+    Valid whenever ``fn`` is a pure function of the node it receives: the
+    transform of a subtree is then itself pure, so results cached in
+    ``memo`` can be reused across repeated occurrences of a subtree and
+    across fixpoint passes (a subtree mapped to itself is in normal form
+    and is never re-traversed).  With hash-consed expressions the lookups
+    are effectively by identity.
+    """
+    cached = memo.get(expr)
+    if cached is not None:
+        return cached
+    kids = expr.children
+    cur = expr
+    if kids:
+        new_kids = [transform_bottom_up_memo(c, fn, memo) for c in kids]
+        if any(n is not o for n, o in zip(new_kids, kids)):
+            cur = expr.with_children(new_kids)
+    replaced = fn(cur)
+    result = cur if replaced is None else replaced
+    memo[expr] = result
+    return result
 
 
 def transform_top_down(

@@ -15,13 +15,15 @@ multiply-accumulate patterns; the LLVM baseline does it, PITCHFORK doesn't.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 from ..interp.evaluator import _eval_node  # exact scalar semantics
 from ..ir import expr as E
-from ..ir.traversal import transform_bottom_up
+from ..ir.traversal import transform_bottom_up, transform_bottom_up_memo
+from ..passes import Pass, PassContext
 
-__all__ = ["canonicalize", "fold_constants"]
+__all__ = ["canonicalize", "canonicalize_counted", "fold_constants",
+           "CanonicalizePass"]
 
 _FOLDABLE = (
     E.Add, E.Sub, E.Mul, E.Div, E.Mod, E.Min, E.Max, E.Shl, E.Shr,
@@ -39,9 +41,18 @@ def _fold(node: E.Expr) -> Optional[E.Expr]:
     return E.Const(node.type, value)
 
 
-def fold_constants(expr: E.Expr) -> E.Expr:
-    """Fold constant subtrees bottom-up."""
-    return transform_bottom_up(expr, _fold)
+def fold_constants(
+    expr: E.Expr, memo: Optional[Dict[E.Expr, E.Expr]] = None
+) -> E.Expr:
+    """Fold constant subtrees bottom-up.
+
+    ``memo`` optionally caches per-subtree results; the lowering loop
+    passes one dict across its (up to 64) fold/rewrite/expand iterations
+    so unchanged regions are never re-folded.
+    """
+    if memo is None:
+        return transform_bottom_up(expr, _fold)
+    return transform_bottom_up_memo(expr, _fold, memo)
 
 
 def _is_const(e: E.Expr, v: int) -> bool:
@@ -125,11 +136,43 @@ def _simplify(node: E.Expr) -> Optional[E.Expr]:
     return None
 
 
+def canonicalize_counted(
+    expr: E.Expr, max_passes: int = 8
+) -> Tuple[E.Expr, int]:
+    """Normalize to a fixed point; also return the simplification count.
+
+    Per-subtree pass results are memoized across the fixpoint passes, so
+    already-normal regions are not re-traversed (see
+    :func:`~repro.ir.traversal.transform_bottom_up_memo`).
+    """
+    memo: Dict[E.Expr, E.Expr] = {}
+    applied = [0]
+
+    def counting_simplify(node: E.Expr) -> Optional[E.Expr]:
+        out = _simplify(node)
+        if out is not None:
+            applied[0] += 1
+        return out
+
+    for _ in range(max_passes):
+        new = transform_bottom_up_memo(expr, counting_simplify, memo)
+        if new is expr or new == expr:
+            return expr, applied[0]
+        expr = new
+    return expr, applied[0]
+
+
 def canonicalize(expr: E.Expr, max_passes: int = 8) -> E.Expr:
     """Normalize to a fixed point (the identities above only shrink)."""
-    for _ in range(max_passes):
-        new = transform_bottom_up(expr, _simplify)
-        if new == expr:
-            return new
-        expr = new
-    return expr
+    return canonicalize_counted(expr, max_passes)[0]
+
+
+class CanonicalizePass(Pass):
+    """Pipeline stage wrapping :func:`canonicalize`."""
+
+    name = "canonicalize"
+
+    def run(self, expr: E.Expr, ctx: PassContext) -> E.Expr:
+        out, applied = canonicalize_counted(expr)
+        ctx.rewrites += applied
+        return out

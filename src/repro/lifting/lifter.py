@@ -14,12 +14,13 @@ from typing import Iterable, List, Optional
 
 from ..analysis import BoundsAnalyzer, BoundsContext
 from ..ir.expr import Expr
+from ..passes import Pass, PassContext
 from ..trs.rewriter import RewriteEngine, RewriteResult
 from ..trs.rule import Rule
 from .canonicalize import canonicalize
 from .rules import HAND_RULES
 
-__all__ = ["Lifter", "lift"]
+__all__ = ["Lifter", "LiftPass", "lift"]
 
 
 class Lifter:
@@ -55,12 +56,41 @@ class Lifter:
         rules = builtin + list(extra_rules)
         self.engine = RewriteEngine(rules, require_cost_decrease=True)
 
+    def rewrite(
+        self, expr: Expr, analyzer: Optional[BoundsAnalyzer] = None
+    ) -> RewriteResult:
+        """Rewrite an already-canonicalized expression to the FPIR
+        fixed point (the pass pipeline canonicalizes separately)."""
+        ctx = BoundsContext(analyzer if analyzer is not None else BoundsAnalyzer())
+        return self.engine.rewrite(expr, ctx)
+
     def lift(
         self, expr: Expr, analyzer: Optional[BoundsAnalyzer] = None
     ) -> RewriteResult:
         """Canonicalize then rewrite to the FPIR fixed point."""
-        ctx = BoundsContext(analyzer if analyzer is not None else BoundsAnalyzer())
-        return self.engine.rewrite(canonicalize(expr), ctx)
+        return self.rewrite(canonicalize(expr), analyzer)
+
+
+class LiftPass(Pass):
+    """Pipeline stage wrapping a :class:`Lifter`'s rewrite engine.
+
+    Expects canonicalized input (run a
+    :class:`~repro.lifting.canonicalize.CanonicalizePass` first).  Exposes
+    the lifted FPIR form and the rules used via ``ctx.extras`` so the
+    compiled program can carry provenance.
+    """
+
+    name = "lift"
+
+    def __init__(self, lifter: Lifter):
+        self.lifter = lifter
+
+    def run(self, expr: Expr, ctx: PassContext) -> Expr:
+        result = self.lifter.rewrite(expr, BoundsAnalyzer(ctx.var_bounds))
+        ctx.extras["lifted"] = result.expr
+        ctx.extras["lift_rules_used"] = result.rules_used
+        ctx.rewrites += len(result.applications)
+        return result.expr
 
 
 def lift(expr: Expr, **kwargs) -> Expr:

@@ -21,9 +21,10 @@ from __future__ import annotations
 from typing import Dict, List
 
 from ..ir import expr as E
-from .program import linearize
+from ..passes import Pass, PassContext
+from .program import AsmLine, linearize
 
-__all__ = ["run_backend_passes", "BACKEND_PASS_ROUNDS"]
+__all__ = ["run_backend_passes", "BackendPass", "BACKEND_PASS_ROUNDS"]
 
 #: How many pass iterations the downstream pipeline runs.  LLVM's codegen
 #: pipeline (DAG combines x N, legalization, two scheduling passes,
@@ -34,17 +35,28 @@ BACKEND_PASS_ROUNDS = 40
 
 
 def _value_number(program: E.Expr) -> int:
-    """GVN-style pass: hash-cons every subtree, count distinct values."""
+    """GVN-style pass: hash-cons every subtree, count distinct values.
+
+    Deliberately visits every *occurrence* (LLVM's GVN walks the whole
+    function body): the pass models downstream work that scales with the
+    amount of emitted IR, which is exactly the Figure 6 mechanism — do
+    not shortcut shared subtrees here.
+    """
     seen: Dict[E.Expr, int] = {}
-    for node in program.walk():
-        seen[node] = seen.get(node, 0) + 1
+    get = seen.get
+    stack = [program]
+    pop = stack.pop
+    extend = stack.extend
+    while stack:
+        node = pop()
+        seen[node] = get(node, 0) + 1
+        extend(node.children)
     return len(seen)
 
 
-def _liveness_and_regalloc(program: E.Expr) -> int:
+def _liveness_and_regalloc(lines: List[AsmLine]) -> int:
     """Linear-scan over the instruction schedule: compute last uses and
     assign virtual registers to a finite pool (spill count returned)."""
-    lines = linearize(program)
     last_use: Dict[str, int] = {}
     for i, line in enumerate(lines):
         for op in line.operands:
@@ -64,9 +76,29 @@ def _liveness_and_regalloc(program: E.Expr) -> int:
 
 
 def run_backend_passes(program: E.Expr, rounds: int = BACKEND_PASS_ROUNDS) -> dict:
-    """Run the downstream pipeline; returns pass statistics."""
+    """Run the downstream pipeline; returns pass statistics.
+
+    The schedule is linearized once (it is a pure function of the
+    program); each round re-runs value numbering and the linear-scan
+    register assignment over it, so running time still scales with the
+    amount of emitted IR — the Figure 6 mechanism.
+    """
     stats = {"values": 0, "spills": 0, "nodes": program.size}
+    lines = linearize(program)
     for _ in range(rounds):
         stats["values"] = _value_number(program)
-        stats["spills"] = _liveness_and_regalloc(program)
+        stats["spills"] = _liveness_and_regalloc(lines)
     return stats
+
+
+class BackendPass(Pass):
+    """Pipeline stage wrapping the downstream backend-pass model."""
+
+    name = "backend"
+
+    def __init__(self, rounds: int = BACKEND_PASS_ROUNDS):
+        self.rounds = rounds
+
+    def run(self, expr: E.Expr, ctx: PassContext) -> E.Expr:
+        ctx.extras["backend"] = run_backend_passes(expr, rounds=self.rounds)
+        return expr

@@ -13,19 +13,35 @@ The result is a pure target-instruction tree (plus inputs/constants), which
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..analysis import BoundsAnalyzer, BoundsContext
 from ..fpir.ops import FPIRInstr
 from ..fpir.semantics import expand
 from ..ir import expr as E
-from ..ir.traversal import transform_bottom_up
+from ..ir.traversal import transform_bottom_up, transform_bottom_up_memo
 from ..lifting.canonicalize import fold_constants
+from ..passes import Pass, PassContext
 from ..targets import Target, TargetOp, is_lowered
 from ..trs.rewriter import RewriteEngine
 from ..trs.rule import Rule
 
-__all__ = ["Lowerer", "LoweringError"]
+__all__ = ["Lowerer", "LowerPass", "LoweringError"]
+
+
+def _find_fpir(expr: E.Expr) -> Optional[E.Expr]:
+    """First FPIR node in ``expr``, visiting each distinct subtree once."""
+    seen = set()
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        if isinstance(node, FPIRInstr):
+            return node
+        stack.extend(node.children)
+    return None
 
 
 class LoweringError(RuntimeError):
@@ -70,30 +86,53 @@ class Lowerer:
         self, expr: E.Expr, analyzer: Optional[BoundsAnalyzer] = None
     ) -> E.Expr:
         """Lower a (typically lifted) expression to target instructions."""
+        return self.lower_with_stats(expr, analyzer)[0]
+
+    def lower_with_stats(
+        self, expr: E.Expr, analyzer: Optional[BoundsAnalyzer] = None
+    ) -> Tuple[E.Expr, Dict[str, int]]:
+        """Lower; also return counters (rule applications, iterations).
+
+        All three per-iteration steps — constant folding, the TRS, and
+        definitional expansion — are pure for a fixed context, so each
+        keeps a memo dict alive across the (up to 64) iterations: regions
+        that already converged are never re-traversed.
+        """
         ctx = BoundsContext(
             analyzer if analyzer is not None else BoundsAnalyzer()
         )
+        stats = {"rewrites": 0, "iterations": 0, "expansions": 0}
+        fold_memo: Dict[E.Expr, E.Expr] = {}
+        rewrite_memo: Dict[E.Expr, E.Expr] = {}
+        expand_memo: Dict[E.Expr, E.Expr] = {}
+
+        def expand_fpir(n: E.Expr) -> Optional[E.Expr]:
+            if isinstance(n, FPIRInstr):
+                stats["expansions"] += 1
+                return expand(n)
+            return None
 
         current = expr
         for _ in range(64):
+            stats["iterations"] += 1
             # Fold constants exposed by expansion (e.g. widened shift
             # amounts) so they stay broadcast operands, not instructions.
-            current = fold_constants(current)
-            current = self.engine.rewrite_expr(current, ctx)
-            leftovers = [
-                n for n in current.walk() if isinstance(n, FPIRInstr)
-            ]
-            if not leftovers:
+            current = fold_constants(current, memo=fold_memo)
+            result = self.engine.rewrite(current, ctx, memo=rewrite_memo)
+            current = result.expr
+            stats["rewrites"] += len(result.applications)
+            leftover = _find_fpir(current)
+            if leftover is None:
                 break
             # Fallback: one definitional step for every rule-less FPIR
             # node, then retry the TRS (the expansion may expose rules).
-            expanded = transform_bottom_up(
-                current, lambda n: expand(n) if isinstance(n, FPIRInstr) else None
+            expanded = transform_bottom_up_memo(
+                current, expand_fpir, expand_memo
             )
-            if expanded == current:
+            if expanded is current or expanded == current:
                 raise LoweringError(
                     f"{self.target.name}: FPIR residue would not expand: "
-                    f"{leftovers[0]}"
+                    f"{leftover}"
                 )
             current = expanded
         else:
@@ -101,7 +140,7 @@ class Lowerer:
                 f"{self.target.name}: lowering did not converge"
             )
 
-        return self._map_residue(current)
+        return self._map_residue(current), stats
 
     # ------------------------------------------------------------------
     def _map_residue(self, expr: E.Expr) -> E.Expr:
@@ -124,4 +163,26 @@ class Lowerer:
             raise LoweringError(
                 f"{self.target.name}: node survived lowering: {bad!r}"
             )
+        return lowered
+
+
+class LowerPass(Pass):
+    """Pipeline stage wrapping a :class:`Lowerer`.
+
+    Bounds facts derived on the source remain valid on the lifted form,
+    but the cache is keyed structurally; a fresh analyzer is built from
+    ``ctx.var_bounds`` so FPIR-aware transfer functions apply.
+    """
+
+    name = "lower"
+
+    def __init__(self, lowerer: Lowerer):
+        self.lowerer = lowerer
+
+    def run(self, expr: E.Expr, ctx: PassContext) -> E.Expr:
+        lowered, stats = self.lowerer.lower_with_stats(
+            expr, BoundsAnalyzer(ctx.var_bounds)
+        )
+        ctx.extras["lowering"] = stats
+        ctx.rewrites += stats["rewrites"]
         return lowered

@@ -39,30 +39,34 @@ def linearize(program: E.Expr) -> List[AsmLine]:
     """Post-order instruction schedule with value numbering."""
     names: Dict[E.Expr, str] = {}
     lines: List[AsmLine] = []
-    counter = [0]
-
-    def operand_name(node: E.Expr) -> str:
-        if isinstance(node, E.Var):
-            return node.name
-        if isinstance(node, E.Const):
-            return f"#{node.value}"
-        return names[node]
+    append = lines.append
+    counter = 0
+    leaf = (E.Var, E.Const)
 
     def visit(node: E.Expr) -> None:
-        if node in names or isinstance(node, (E.Var, E.Const)):
+        nonlocal counter
+        if node in names or isinstance(node, leaf):
             return
-        for c in node.children:
-            visit(c)
-        reg = f"v{counter[0]}{_reg_suffix(node.type)}"
-        counter[0] += 1
+        kids = node.children
+        for c in kids:
+            if c not in names and not isinstance(c, leaf):
+                visit(c)
+        reg = f"v{counter}{_reg_suffix(node.type)}"
+        counter += 1
         names[node] = reg
         if isinstance(node, TargetOp):
             mnemonic = node.spec.name
         else:  # pragma: no cover - non-lowered trees, debugging aid
             mnemonic = type(node).__name__.lower()
-        lines.append(
-            AsmLine(reg, mnemonic, tuple(operand_name(c) for c in node.children))
-        )
+        operands = []
+        for c in kids:
+            if isinstance(c, E.Var):
+                operands.append(c.name)
+            elif isinstance(c, E.Const):
+                operands.append(f"#{c.value}")
+            else:
+                operands.append(names[c])
+        append(AsmLine(reg, mnemonic, tuple(operands)))
 
     visit(program)
     return lines

@@ -1,0 +1,139 @@
+"""The instrumented pass pipeline: ``Pass`` protocol + ``PassManager``.
+
+PITCHFORK's online path is a short, fixed sequence — canonicalize, lift,
+lower, downstream backend passes — that used to be hard-wired into
+``pipeline.py``.  This module turns it into data: a :class:`PassManager`
+runs an ordered list of :class:`Pass` objects over an expression, timing
+each one and recording rewrite counts and node counts into a
+:class:`CompileStats`, which the compiled program carries and the CLI and
+benchmarks can print.
+
+The manager is deliberately generic: a pass is anything with a ``name``
+and a ``run(expr, ctx)`` method returning the transformed expression.
+Shared per-compile state (the target, variable bounds, byproducts such as
+the lifted FPIR form) travels in a :class:`PassContext`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Pass",
+    "PassContext",
+    "PassManager",
+    "PassStats",
+    "CompileStats",
+]
+
+
+class Pass:
+    """One stage of the compile pipeline.
+
+    Subclasses set ``name`` and implement :meth:`run`.  A pass reports how
+    much rewriting it did by incrementing ``ctx.rewrites``; the manager
+    snapshots the counter around each pass to attribute the delta.
+    """
+
+    name: str = "<unnamed>"
+
+    def run(self, expr, ctx: "PassContext"):
+        """Transform ``expr`` and return the result (may be ``expr``)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Pass {self.name}>"
+
+
+@dataclass
+class PassContext:
+    """Per-compile state shared by the passes of one pipeline run."""
+
+    target: Optional[Any] = None
+    var_bounds: Optional[Dict[str, Any]] = None
+    #: byproducts passes want to expose (lifted form, rules used, backend
+    #: pass statistics); keyed by pass-chosen names
+    extras: Dict[str, Any] = field(default_factory=dict)
+    #: running rewrite-application counter, incremented by passes
+    rewrites: int = 0
+
+
+@dataclass(frozen=True)
+class PassStats:
+    """What one pass did: wall time, rewrites, node counts."""
+
+    name: str
+    seconds: float
+    rewrites: int
+    nodes_in: int
+    nodes_out: int
+
+
+@dataclass
+class CompileStats:
+    """Per-pass breakdown of one compilation."""
+
+    passes: List[PassStats] = field(default_factory=list)
+    total_seconds: float = 0.0
+
+    @property
+    def rewrites(self) -> int:
+        return sum(p.rewrites for p in self.passes)
+
+    def __getitem__(self, name: str) -> PassStats:
+        for p in self.passes:
+            if p.name == name:
+                return p
+        raise KeyError(name)
+
+    def format_table(self) -> str:
+        """Human-readable per-pass breakdown (CLI / benchmark reports)."""
+        header = (
+            f"{'pass':<14} {'ms':>8} {'rewrites':>9} "
+            f"{'nodes in':>9} {'nodes out':>10}"
+        )
+        lines = [header]
+        for p in self.passes:
+            lines.append(
+                f"{p.name:<14} {p.seconds * 1000:>8.2f} {p.rewrites:>9} "
+                f"{p.nodes_in:>9} {p.nodes_out:>10}"
+            )
+        lines.append(
+            f"{'total':<14} {self.total_seconds * 1000:>8.2f} "
+            f"{self.rewrites:>9}"
+        )
+        return "\n".join(lines)
+
+
+class PassManager:
+    """Runs an ordered pass list, timing and instrumenting each pass."""
+
+    def __init__(self, passes: Sequence[Pass]):
+        self.passes: List[Pass] = list(passes)
+
+    def run(
+        self, expr, ctx: Optional[PassContext] = None
+    ) -> Tuple[Any, CompileStats]:
+        """Run every pass in order; returns (result, stats)."""
+        ctx = ctx if ctx is not None else PassContext()
+        stats: List[PassStats] = []
+        t_start = time.perf_counter()
+        for p in self.passes:
+            nodes_in = expr.size
+            rewrites_before = ctx.rewrites
+            t0 = time.perf_counter()
+            expr = p.run(expr, ctx)
+            seconds = time.perf_counter() - t0
+            stats.append(
+                PassStats(
+                    name=p.name,
+                    seconds=seconds,
+                    rewrites=ctx.rewrites - rewrites_before,
+                    nodes_in=nodes_in,
+                    nodes_out=expr.size,
+                )
+            )
+        total = time.perf_counter() - t_start
+        return expr, CompileStats(passes=stats, total_seconds=total)

@@ -7,6 +7,12 @@ This is the user-facing facade (Figure 1's "online" path)::
     print(prog.assembly())
     cycles = prog.cost().total
     out = prog.run({"a": [...], "b": [...]})
+    print(prog.stats.format_table())   # per-pass timing breakdown
+
+The pipeline itself is an instrumented :class:`~repro.passes.PassManager`
+run over four passes — canonicalize, lift, lower, backend — whose per-pass
+wall time, rewrite counts and node counts land in the compiled program's
+:class:`~repro.passes.CompileStats`.
 """
 
 from __future__ import annotations
@@ -17,12 +23,14 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from .analysis import BoundsAnalyzer, Interval
 from .ir.expr import Expr
-from .lifting.lifter import Lifter
+from .lifting.canonicalize import CanonicalizePass
+from .lifting.lifter import Lifter, LiftPass
 from .machine.llvm_baseline import LLVMBaseline, LLVMCompileError
-from .machine.lowerer import Lowerer
-from .machine.backend_passes import run_backend_passes
-from .machine.program import format_assembly, linearize
+from .machine.lowerer import Lowerer, LowerPass
+from .machine.backend_passes import BackendPass, run_backend_passes
+from .machine.program import AsmLine, linearize
 from .machine.simulator import CostBreakdown, cost_cycles, simulate
+from .passes import CompileStats, PassContext, PassManager
 from .targets import Target
 
 __all__ = [
@@ -47,6 +55,11 @@ class CompiledProgram:
     compile_seconds: float = 0.0
     lift_rules_used: List[str] = field(default_factory=list)
     swizzle_discount: float = 0.0
+    #: per-pass breakdown (None for flows not run through the PassManager)
+    stats: Optional[CompileStats] = None
+    _lines: Optional[List[AsmLine]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def cost(self, lanes: Optional[int] = None) -> CostBreakdown:
         """Modelled cycles per vector iteration."""
@@ -63,13 +76,19 @@ class CompiledProgram:
         """Execute the lowered program (exact reference semantics)."""
         return simulate(self.lowered, env, lanes=lanes)
 
+    def linearized(self) -> List[AsmLine]:
+        """The instruction schedule, linearized once and cached."""
+        if self._lines is None:
+            self._lines = linearize(self.lowered)
+        return self._lines
+
     def assembly(self) -> str:
         """Figure 3-style listing."""
-        return format_assembly(self.lowered)
+        return "\n".join(str(line) for line in self.linearized())
 
     @property
     def instructions(self) -> List[str]:
-        return [line.mnemonic for line in linearize(self.lowered)]
+        return [line.mnemonic for line in self.linearized()]
 
     def __repr__(self) -> str:  # pragma: no cover
         return (
@@ -79,7 +98,12 @@ class CompiledProgram:
 
 
 class PitchforkCompiler:
-    """Configurable lift+lower pipeline (ablations, leave-one-out)."""
+    """Configurable lift+lower pipeline (ablations, leave-one-out).
+
+    The pipeline is an ordered pass list run by a
+    :class:`~repro.passes.PassManager`; ``self.passes`` is the manager and
+    may be inspected or re-composed by experiments.
+    """
 
     def __init__(
         self,
@@ -97,31 +121,31 @@ class PitchforkCompiler:
             use_synthesized=use_synthesized,
             exclude_sources=exclude_sources,
         )
+        self.passes = PassManager(
+            [
+                CanonicalizePass(),
+                LiftPass(self.lifter),
+                LowerPass(self.lowerer),
+                BackendPass(),  # shared downstream LLVM work (§5.2)
+            ]
+        )
 
     def compile(
         self,
         expr: Expr,
         var_bounds: Optional[Dict[str, Interval]] = None,
     ) -> CompiledProgram:
-        t0 = time.perf_counter()
-        analyzer = BoundsAnalyzer(var_bounds)
-        lift_result = self.lifter.lift(expr, analyzer)
-        # Bounds facts derived on the source remain valid on the lifted
-        # form, but the cache is keyed structurally; use a fresh analyzer
-        # so FPIR-aware transfer functions apply.
-        lowered = self.lowerer.lower(
-            lift_result.expr, BoundsAnalyzer(var_bounds)
-        )
-        run_backend_passes(lowered)  # shared downstream LLVM work (§5.2)
-        elapsed = time.perf_counter() - t0
+        ctx = PassContext(target=self.target, var_bounds=var_bounds)
+        lowered, stats = self.passes.run(expr, ctx)
         return CompiledProgram(
             source=expr,
-            lifted=lift_result.expr,
+            lifted=ctx.extras.get("lifted"),
             lowered=lowered,
             target=self.target,
             compiler="pitchfork",
-            compile_seconds=elapsed,
-            lift_rules_used=lift_result.rules_used,
+            compile_seconds=stats.total_seconds,
+            lift_rules_used=list(ctx.extras.get("lift_rules_used", [])),
+            stats=stats,
         )
 
 

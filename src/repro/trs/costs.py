@@ -96,15 +96,28 @@ def _bits(t: object) -> int:
 
 
 def cost(expr: E.Expr) -> Cost:
-    """Lexicographic target-agnostic cost of an expression tree."""
+    """Lexicographic target-agnostic cost of an expression tree.
+
+    The cost is compositional (a node's cost is the sum of its children's
+    plus a local term), so it is memoized per node: with hash-consed
+    expressions every subtree is costed once, ever, instead of once per
+    rule attempt at every node of every fixpoint pass.
+    """
+    cached = getattr(expr, "_cost", None)
+    if cached is not None:
+        return cached
+    kids = expr.children
     width_sum = 0
     rank_sum = 0
-    nodes = 0
-    for node in expr.walk():
-        nodes += 1
-        kids = node.children
-        if not kids:
-            continue
-        width_sum += sum(_bits(c.type) for c in kids)
-        rank_sum += OP_RANK.get(type(node), _DEFAULT_RANK)
-    return (width_sum, rank_sum, nodes)
+    nodes = 1
+    if kids:
+        for c in kids:
+            cw, cr, cn = cost(c)
+            width_sum += cw
+            rank_sum += cr
+            nodes += cn
+            width_sum += _bits(c.type)
+        rank_sum += OP_RANK.get(type(expr), _DEFAULT_RANK)
+    result = (width_sum, rank_sum, nodes)
+    object.__setattr__(expr, "_cost", result)
+    return result

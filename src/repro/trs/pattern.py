@@ -180,6 +180,9 @@ class Wild(Expr):
 
     __slots__ = ("name", "type_pattern")
     _fields = ("name", "type_pattern")
+    # Never hash-consed: ``_key`` omits the type pattern, so interning
+    # would conflate same-named wildcards with different constraints.
+    _internable = False
 
     def __init__(
         self, name: str, type_pattern: Union[ScalarType, TypePattern]
@@ -201,6 +204,7 @@ class ConstWild(Expr):
 
     __slots__ = ("name", "type_pattern")
     _fields = ("name", "type_pattern")
+    _internable = False
 
     def __init__(
         self, name: str, type_pattern: Union[ScalarType, TypePattern]
@@ -228,6 +232,7 @@ class PConst(Expr):
 
     __slots__ = ("type_pattern", "value")
     _fields = ("type_pattern", "value")
+    _internable = False
 
     def __init__(
         self,

@@ -15,6 +15,14 @@ Two configurations are used in the system:
   intrinsics), where the target-agnostic cost is not meaningful; they rely
   on rule stratification (each rule's output contains strictly more target
   nodes and fewer FPIR nodes) plus an iteration cap as a backstop.
+
+Rewriting is memoized: for a fixed rule set and context, one fixpoint pass
+is a pure function of the subtree it runs on, so per-subtree results are
+cached (``memo``) and survive across fixpoint passes — a subtree that came
+out of a pass unchanged is in normal form and is never re-traversed.  With
+hash-consed expressions the cache is keyed by identity, so the 64-pass
+worst case degrades gracefully to O(changed region) per pass instead of
+O(whole tree).
 """
 
 from __future__ import annotations
@@ -23,7 +31,6 @@ from collections import defaultdict
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Type
 
 from ..ir.expr import Expr
-from ..ir.traversal import transform_bottom_up, transform_top_down
 from .costs import Cost, cost
 from .rule import Rule, RuleContext
 
@@ -35,7 +42,11 @@ class RewriteError(RuntimeError):
 
 
 class RewriteResult:
-    """The outcome of a rewriting session, with an application trace."""
+    """The outcome of a rewriting session, with an application trace.
+
+    Note that with memoized rewriting, a rule firing on N structurally
+    identical occurrences of a subtree is traced once, not N times.
+    """
 
     def __init__(self, expr: Expr, applications: List[Tuple[str, Expr, Expr]]):
         self.expr = expr
@@ -71,54 +82,173 @@ class RewriteEngine:
         self.max_passes = max_passes
         self.cost_fn = cost_fn
         self.strategy = strategy
-        self._index = self._build_index(self.rules)
+        self._typed, self._wild = self._build_index(self.rules)
+        self._merged: Dict[type, List[Rule]] = {}
+        self._checks: Dict[int, tuple] = {
+            id(r): self._precheck(r.lhs) for r in self.rules
+        }
+        self._merged_checked: Dict[type, List[Tuple[Rule, tuple]]] = {}
 
     @staticmethod
-    def _build_index(rules: List[Rule]) -> Dict[type, List[Rule]]:
+    def _precheck(lhs: Expr) -> tuple:
+        """Cheap per-rule structural filter, hoisted out of the matcher.
+
+        For a concrete pattern root, a child that is itself a concrete
+        pattern node only matches a node of exactly that class, and a
+        ``ConstWild``/``PConst`` child only matches a ``Const``; checking
+        ``type(child)`` up front skips the full matcher for most
+        non-matching (rule, node) pairs.  Wildcard-rooted patterns get no
+        field checks (``ConstWild``/``PConst`` roots require a ``Const``
+        node, encoded with field ``None``).
+        """
+        from ..ir.expr import Const
+        from .pattern import ConstWild, PConst, Wild
+
+        if isinstance(lhs, (ConstWild, PConst)):
+            return ((None, Const),)
+        if isinstance(lhs, Wild):
+            return ()
+        checks = []
+        for f in lhs._fields:
+            pv = getattr(lhs, f)
+            if isinstance(pv, (ConstWild, PConst)):
+                checks.append((f, Const))
+            elif isinstance(pv, Wild):
+                continue
+            elif isinstance(pv, Expr):
+                checks.append((f, type(pv)))
+        return tuple(checks)
+
+    @staticmethod
+    def _build_index(rules: List[Rule]):
         """Index rules by their pattern's root class for O(1) dispatch.
 
-        Rules whose root is a wildcard (rare) go in the catch-all bucket.
+        Rules whose root is a pattern leaf (a wildcard) go in the
+        catch-all bucket; ``rules_for`` merges the two buckets in original
+        rule order, so the global priority order is preserved.
         """
-        index: Dict[type, List[Rule]] = defaultdict(list)
-        for r in rules:
-            index[type(r.lhs)].append(r)
-        return dict(index)
+        from .pattern import ConstWild, PConst, Wild
+
+        typed: Dict[type, List[Tuple[int, Rule]]] = defaultdict(list)
+        wild: List[Tuple[int, Rule]] = []
+        for i, r in enumerate(rules):
+            if isinstance(r.lhs, (Wild, ConstWild, PConst)):
+                wild.append((i, r))
+            else:
+                typed[type(r.lhs)].append((i, r))
+        return dict(typed), wild
 
     def rules_for(self, expr: Expr) -> List[Rule]:
-        return self._index.get(type(expr), [])
+        cls = type(expr)
+        merged = self._merged.get(cls)
+        if merged is None:
+            typed = self._typed.get(cls, [])
+            if not self._wild:
+                merged = [r for _, r in typed]
+            else:
+                merged = [
+                    r
+                    for _, r in sorted(
+                        typed + self._wild, key=lambda pair: pair[0]
+                    )
+                ]
+            self._merged[cls] = merged
+        return merged
+
+    def _checked_rules_for(self, expr: Expr) -> List[Tuple[Rule, tuple]]:
+        cls = type(expr)
+        pairs = self._merged_checked.get(cls)
+        if pairs is None:
+            checks = self._checks
+            pairs = [(r, checks[id(r)]) for r in self.rules_for(expr)]
+            self._merged_checked[cls] = pairs
+        return pairs
 
     # ------------------------------------------------------------------
     def rewrite(
-        self, expr: Expr, ctx: Optional[RuleContext] = None
+        self,
+        expr: Expr,
+        ctx: Optional[RuleContext] = None,
+        memo: Optional[Dict[Expr, Expr]] = None,
     ) -> RewriteResult:
-        """Rewrite to a fixed point; returns the result and its trace."""
+        """Rewrite to a fixed point; returns the result and its trace.
+
+        ``memo`` caches per-subtree single-pass results.  It is valid for
+        as long as the rule set and ``ctx`` are unchanged; callers running
+        several rewrite sessions under one context (the lowering loop) may
+        pass a shared dict to reuse work across sessions.
+        """
         ctx = ctx if ctx is not None else RuleContext()
         trace: List[Tuple[str, Expr, Expr]] = []
+        if memo is None:
+            memo = {}
+        cost_fn = self.cost_fn
+        gate = self.require_cost_decrease
+        checked_rules_for = self._checked_rules_for
 
         def apply_at(node: Expr) -> Optional[Expr]:
             # Greedy: rules are pre-ordered (cheapest output first); the
             # first applicable rule wins.
-            for rule in self.rules_for(node):
+            pairs = checked_rules_for(node)
+            if not pairs:
+                return None
+            node_cost = cost_fn(node) if gate else None
+            for rule, checks in pairs:
+                ok = True
+                for f, cls in checks:
+                    v = node if f is None else getattr(node, f)
+                    if type(v) is not cls:
+                        ok = False
+                        break
+                if not ok:
+                    continue
                 out = rule.apply(node, ctx)
                 if out is None:
                     continue
-                if self.require_cost_decrease and not (
-                    self.cost_fn(out) < self.cost_fn(node)
-                ):
+                if gate and not (cost_fn(out) < node_cost):
                     continue
                 trace.append((rule.name, node, out))
                 return out
             return None
 
-        transform = (
-            transform_bottom_up
-            if self.strategy == "bottom_up"
-            else transform_top_down
-        )
+        if self.strategy == "bottom_up":
+
+            def step(node: Expr) -> Expr:
+                cached = memo.get(node)
+                if cached is not None:
+                    return cached
+                kids = node.children
+                cur = node
+                if kids:
+                    new_kids = [step(c) for c in kids]
+                    if any(n is not o for n, o in zip(new_kids, kids)):
+                        cur = node.with_children(new_kids)
+                replaced = apply_at(cur)
+                result = cur if replaced is None else replaced
+                memo[node] = result
+                return result
+
+        else:
+
+            def step(node: Expr) -> Expr:
+                cached = memo.get(node)
+                if cached is not None:
+                    return cached
+                replaced = apply_at(node)
+                cur = node if replaced is None else replaced
+                kids = cur.children
+                result = cur
+                if kids:
+                    new_kids = [step(c) for c in kids]
+                    if any(n is not o for n, o in zip(new_kids, kids)):
+                        result = cur.with_children(new_kids)
+                memo[node] = result
+                return result
+
         current = expr
         for _ in range(self.max_passes):
-            new = transform(current, apply_at)
-            if new == current:
+            new = step(current)
+            if new is current or new == current:
                 return RewriteResult(current, trace)
             current = new
         raise RewriteError(
@@ -127,7 +257,10 @@ class RewriteEngine:
         )
 
     def rewrite_expr(
-        self, expr: Expr, ctx: Optional[RuleContext] = None
+        self,
+        expr: Expr,
+        ctx: Optional[RuleContext] = None,
+        memo: Optional[Dict[Expr, Expr]] = None,
     ) -> Expr:
         """Convenience: rewrite and return just the expression."""
-        return self.rewrite(expr, ctx).expr
+        return self.rewrite(expr, ctx, memo=memo).expr

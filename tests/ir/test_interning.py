@@ -1,0 +1,63 @@
+"""Hash-cons interning: structurally equal exprs are reference-equal."""
+
+from repro import fpir as F
+from repro.ir import builders as h
+from repro.ir import expr as E
+from repro.ir.types import U8, U16
+from repro.trs.pattern import ConstWild, TVar, Wild
+
+a = h.var("a", U8)
+b = h.var("b", U8)
+
+
+class TestInterning:
+    def test_equal_constructions_are_identical(self):
+        assert E.Add(a, b) is E.Add(a, b)
+        assert h.u16(a) is h.u16(a)
+        assert E.Const(U8, 7) is E.Const(U8, 7)
+
+    def test_distinct_constructions_are_distinct(self):
+        assert E.Add(a, b) is not E.Add(b, a)
+        assert E.Const(U8, 7) is not E.Const(U16, 7)
+
+    def test_nested_trees_share_identity(self):
+        x = E.Min(E.Add(a, b), E.Max(a, b))
+        y = E.Min(E.Add(a, b), E.Max(a, b))
+        assert x is y
+        assert x.children[0] is y.children[0]
+
+    def test_fpir_nodes_intern_too(self):
+        assert F.WideningAdd(a, b) is F.WideningAdd(a, b)
+
+    def test_interned_nodes_marked_canonical(self):
+        assert getattr(E.Add(a, b), "_canon", False)
+
+    def test_equality_and_hash_still_structural(self):
+        x, y = E.Add(a, b), E.Add(a, b)
+        assert x == y and hash(x) == hash(y)
+        assert x != E.Add(b, a)
+
+    def test_with_children_rebuilds_interned(self):
+        x = E.Add(a, b)
+        assert x.with_children([a, b]) is x or x.with_children([a, b]) == x
+        assert x.with_children([b, a]) is E.Add(b, a)
+
+
+class TestPatternNodesNotInterned:
+    """Wildcards carry per-rule type constraints their ``_key`` omits —
+    interning them would conflate same-named wildcards across rules."""
+
+    def test_wild_not_interned(self):
+        T1, T2 = TVar("T", max_bits=16), TVar("T", max_bits=32)
+        w1, w2 = Wild("x", T1), Wild("x", T2)
+        assert w1 is not w2
+        assert not getattr(w1, "_canon", False)
+
+    def test_constwild_not_interned(self):
+        assert ConstWild("c", U8) is not ConstWild("c", U8)
+
+    def test_composite_over_wildcards_not_interned(self):
+        T = TVar("T")
+        pat = E.Add(Wild("x", T), Wild("y", T))
+        assert not getattr(pat, "_canon", False)
+        assert pat is not E.Add(Wild("x", T), Wild("y", T))

@@ -1,0 +1,38 @@
+"""Pipeline refactor round-trip: bit-identical to the pre-refactor seed.
+
+``golden_seed.json`` was captured from the seed tree (before the
+PassManager/interning/memoization work) by compiling every workload for
+x86, ARM and HVX and recording the selected instruction sequence and the
+modelled cycle count.  The refactor is required to be semantics-
+preserving, so the current pipeline must reproduce both exactly.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.pipeline import pitchfork_compile
+from repro.targets import ARM, HVX, X86
+from repro.workloads import WORKLOADS, by_name
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "golden_seed.json").read_text()
+)
+TARGETS = {"x86-avx2": X86, "arm-neon": ARM, "hexagon-hvx": HVX}
+
+
+def test_golden_covers_full_matrix():
+    assert len(GOLDEN) == len(WORKLOADS) * len(TARGETS)
+
+
+@pytest.mark.parametrize("target_name", sorted(TARGETS))
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_roundtrip_matches_seed(name, target_name):
+    wl = by_name(name)
+    golden = GOLDEN[f"{name}|{target_name}"]
+    prog = pitchfork_compile(
+        wl.expr, TARGETS[target_name], var_bounds=wl.var_bounds
+    )
+    assert prog.instructions == golden["instructions"]
+    assert prog.cost().total == pytest.approx(golden["cycles"])

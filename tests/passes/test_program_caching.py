@@ -1,0 +1,36 @@
+"""CompiledProgram must linearize once, not once per accessor call."""
+
+from unittest import mock
+
+from repro.machine import program as program_mod
+from repro.pipeline import pitchfork_compile
+from repro.targets import X86
+from repro.workloads import by_name
+
+
+def _compile():
+    wl = by_name("add")
+    return pitchfork_compile(wl.expr, X86, var_bounds=wl.var_bounds)
+
+
+def test_linearize_called_once_across_accessors():
+    prog = _compile()
+    # pipeline.py imported the name directly; patch it there.
+    with mock.patch(
+        "repro.pipeline.linearize", side_effect=program_mod.linearize
+    ) as spy:
+        lines = prog.linearized()
+        assert prog.linearized() is lines
+        prog.assembly()
+        prog.instructions
+        assert spy.call_count == 1
+
+
+def test_accessors_agree_with_fresh_linearize():
+    prog = _compile()
+    fresh = program_mod.linearize(prog.lowered)
+    assert [l.mnemonic for l in prog.linearized()] == [
+        l.mnemonic for l in fresh
+    ]
+    assert prog.instructions == [l.mnemonic for l in fresh]
+    assert prog.assembly() == "\n".join(str(l) for l in fresh)

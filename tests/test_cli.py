@@ -37,6 +37,16 @@ class TestCompile:
         ) == 0
         assert "q31 substitution" in capsys.readouterr().out
 
+    def test_compile_stats_breakdown(self, capsys):
+        assert main(
+            ["compile", "sobel3x3", "--target", "arm-neon", "--stats"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "per-pass breakdown" in out
+        for name in ("canonicalize", "lift", "lower", "backend", "total"):
+            assert name in out
+        assert "rewrites" in out
+
     def test_unknown_workload_rejected(self):
         with pytest.raises(SystemExit):
             main(["compile", "not_a_benchmark"])

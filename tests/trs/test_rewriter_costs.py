@@ -130,6 +130,54 @@ class TestRewriteEngine:
             RewriteEngine([], strategy="sideways")
 
 
+class TestWildcardRootedRules:
+    """Wildcard-rooted rules must participate in dispatch.
+
+    The root-class rule index used to drop rules whose lhs is a pattern
+    leaf (``Wild``/``ConstWild``) into a bucket nothing ever read, so
+    they silently never fired.  These are the regression tests.
+    """
+
+    T = TVar("T")
+
+    @staticmethod
+    def _only_var_b(m, ctx):
+        return isinstance(m.root, E.Var) and m.root.name == "b"
+
+    def test_wildcard_rooted_rule_fires(self):
+        rename = Rule(
+            "rename-b", Wild("x", self.T), h.var("bb", U8),
+            predicate=self._only_var_b,
+        )
+        out = RewriteEngine([rename]).rewrite_expr(E.Add(a, b))
+        assert out == E.Add(a, h.var("bb", U8))
+
+    def test_rules_for_includes_wildcard_bucket(self):
+        rename = Rule(
+            "rename-b", Wild("x", self.T), h.var("bb", U8),
+            predicate=self._only_var_b,
+        )
+        eng = RewriteEngine([rename])
+        assert rename in eng.rules_for(E.Var("b", U8))
+        assert rename in eng.rules_for(E.Add(a, b))
+
+    def test_wildcard_and_typed_rules_keep_list_order(self):
+        # Priority is list position, regardless of which bucket the
+        # rule's root class landed it in.
+        typed = Rule(
+            "to-min", E.Add(Wild("x", self.T), Wild("y", self.T)),
+            E.Min(Wild("x", self.T), Wild("y", self.T)),
+        )
+        wild = Rule(
+            "kill-add", Wild("x", self.T), h.var("w", U8),
+            predicate=lambda m, ctx: isinstance(m.root, E.Add),
+        )
+        out = RewriteEngine([wild, typed]).rewrite_expr(E.Add(a, b))
+        assert out == h.var("w", U8)
+        out = RewriteEngine([typed, wild]).rewrite_expr(E.Add(a, b))
+        assert out == E.Min(a, b)
+
+
 class TestRuleProvenance:
     def test_sources_parsing(self):
         r = Rule("r", a, b, source="synth:add,synth:mul")
