@@ -4,8 +4,15 @@ Times both full flows end-to-end (selection + the shared downstream
 backend passes whose cost scales with emitted IR) under pytest-benchmark,
 and prints the per-benchmark compile-time speedup table.  Also reports
 the PITCHFORK-vs-Rake compile-time ratio (§5.2: "orders of magnitude").
+
+The timed compiles run uninstrumented (the overhead contract is part of
+what Figure 6 measures); a separate metrics-only sweep afterwards
+captures rule telemetry, and both land in ``BENCH_fig6.json`` — a
+machine-readable perf snapshot for CI artifacts and cross-run diffing.
 """
 
+import json
+import os
 import time
 
 import pytest
@@ -16,6 +23,7 @@ from repro.evaluation.compile_time import (
     format_pass_breakdown,
     measure_one,
 )
+from repro.observe import MetricsRegistry, Observation
 from repro.pipeline import llvm_compile, pitchfork_compile, rake_compile
 from repro.targets import ARM, HVX, X86
 from repro.workloads import WORKLOADS, by_name
@@ -81,3 +89,37 @@ def _pass_breakdown_report():
 register_lazy_report(
     "Per-pass compile-time breakdown (PassManager)", _pass_breakdown_report
 )
+
+
+def _write_fig6_json():
+    """Emit ``BENCH_fig6.json``: timings + a rule-telemetry snapshot.
+
+    The snapshot sweep re-compiles every measured (workload, target)
+    pair with a metrics-only observation — separate from the timed runs
+    above, so instrumentation cost never leaks into Figure 6 numbers.
+    """
+    if not _EVAL.results:
+        return None
+    registry = MetricsRegistry()
+    for r in _EVAL.results:
+        wl = by_name(r.workload)
+        target = next(t for t in TARGETS if t.name == r.target)
+        pitchfork_compile(
+            wl.expr,
+            target,
+            var_bounds=wl.var_bounds,
+            trace=Observation.quiet(metrics=registry),
+        )
+    payload = _EVAL.to_dict()
+    payload["metrics"] = json.loads(registry.to_json())
+    path = os.environ.get("BENCH_FIG6_JSON", "BENCH_fig6.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+    return (
+        f"wrote {path}: {len(payload['results'])} measurements, "
+        f"{len(payload['metrics']['counters'])} counters, "
+        f"{len(payload['metrics']['histograms'])} histograms"
+    )
+
+
+register_lazy_report("Figure 6 JSON snapshot", _write_fig6_json)

@@ -28,6 +28,7 @@ from . import interp  # noqa: F401
 from . import ir  # noqa: F401
 from . import lifting  # noqa: F401
 from . import machine  # noqa: F401
+from . import observe  # noqa: F401
 from . import targets  # noqa: F401
 from . import trs  # noqa: F401
 from . import verify  # noqa: F401

@@ -3,10 +3,14 @@
 Commands
 --------
 compile     compile a benchmark (or the Figure 3 cases) and show the
-            selected instructions for one or all targets
+            selected instructions for one or all targets; ``--trace``
+            writes a Chrome-trace JSON, ``--explain`` annotates every
+            instruction with the rule chain that produced it
 evaluate    regenerate a paper figure's data table (fig3/fig5/fig6/fig7)
 workloads   list the benchmark suite
 rules       list/verify the rule sets
+coverage    compile the suite with rule telemetry; report per-rule fire
+            counts and flag dead rules (synthesis-feedback candidates)
 synthesize  run the §4 offline pipeline over chosen benchmarks
 """
 
@@ -33,18 +37,50 @@ def _target_list(name: str):
     return [T.by_name(name)]
 
 
+def _print_stats(prog, compiler: str) -> None:
+    """Per-pass breakdown, or a clear note for compilers without one.
+
+    ``rake_compile`` and ``llvm_compile`` build programs with
+    ``stats=None``; guard here so extending ``--stats`` to compared
+    programs can never raise an attribute error.
+    """
+    print(f"-- per-pass breakdown ({compiler}):")
+    if prog.stats is None:
+        print(f"   (no per-pass stats for {compiler})")
+    else:
+        print(prog.stats.format_table())
+
+
 def cmd_compile(args) -> int:
     wl = by_name(args.workload)
+    observing = bool(args.trace) or args.explain
+    tracer = None
+    if args.trace:
+        from .observe import Tracer
+
+        tracer = Tracer()
     for target in _target_list(args.target):
         print(f"== {wl.name} on {target.name}")
-        pf = pitchfork_compile(wl.expr, target, var_bounds=wl.var_bounds)
+        obs = None
+        if observing:
+            from .observe import Observation
+
+            # One tracer spans every target; provenance/metrics are
+            # per-compile (hash-consed nodes recur across targets).
+            obs = (
+                Observation(tracer=tracer)
+                if tracer is not None
+                else Observation.quiet()
+            )
+        pf = pitchfork_compile(
+            wl.expr, target, var_bounds=wl.var_bounds, trace=obs
+        )
         if args.show_fpir:
             print(f"-- lifted FPIR:\n{pf.lifted}")
         print(f"-- PITCHFORK ({pf.cost().total:.1f} modelled cycles/vec):")
-        print(pf.assembly())
+        print(pf.explain() if args.explain else pf.assembly())
         if args.stats:
-            print("-- per-pass breakdown:")
-            print(pf.stats.format_table())
+            _print_stats(pf, "pitchfork")
         if args.compare:
             try:
                 ll = llvm_compile(wl.expr, target, var_bounds=wl.var_bounds)
@@ -59,11 +95,21 @@ def cmd_compile(args) -> int:
             print(f"-- LLVM ({ll.cost().total:.1f} cycles/vec; "
                   f"PITCHFORK is {speed:.2f}x faster):")
             print(ll.assembly())
+            if args.stats:
+                _print_stats(ll, "llvm")
         if args.rake and target.name in ("arm-neon", "hexagon-hvx"):
             rk = rake_compile(wl.expr, target, var_bounds=wl.var_bounds)
             print(f"-- Rake oracle ({rk.cost().total:.1f} cycles/vec):")
             print(rk.assembly())
+            if args.stats:
+                _print_stats(rk, "rake")
         print()
+    if tracer is not None:
+        tracer.write_chrome_trace(args.trace)
+        print(f"wrote Chrome trace to {args.trace} "
+              f"({len(tracer.spans)} spans, "
+              f"{len(tracer.instants)} rule events); load it in "
+              f"chrome://tracing or ui.perfetto.dev")
     return 0
 
 
@@ -144,10 +190,60 @@ def cmd_rules(args) -> int:
     return 0
 
 
+def _read_baseline(path: str) -> set:
+    """Known-dead rule names: one per line, ``#`` comments allowed."""
+    names = set()
+    with open(path) as fh:
+        for line in fh:
+            name = line.split("#", 1)[0].strip()
+            if name:
+                names.add(name)
+    return names
+
+
+def cmd_coverage(args) -> int:
+    from .evaluation.coverage import run_coverage
+
+    report = run_coverage(targets=_target_list(args.target))
+    print(report.format_table(verbose=args.verbose))
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(report.to_json())
+        print(f"wrote {args.json}")
+    dead_hand = {r.name for r in report.dead_hand_rules}
+    if args.baseline:
+        # Ratchet mode (CI): fail only on hand-written rules that are
+        # dead AND not already recorded as known coverage gaps.
+        allowed = _read_baseline(args.baseline)
+        newly_dead = sorted(dead_hand - allowed)
+        revived = sorted(allowed - {r.name for r in report.dead})
+        if revived:
+            print("baseline rules now fire (trim the baseline): "
+                  + ", ".join(revived))
+        if newly_dead:
+            print("hand-written rules newly dead (not in "
+                  f"{args.baseline}):")
+            for name in newly_dead:
+                print(f"   {name}")
+            return 1
+        return 0
+    return 1 if dead_hand else 0
+
+
 def cmd_synthesize(args) -> int:
     from .synthesis import synthesize_lifting_rules
 
-    wls = [by_name(n) for n in (args.benchmarks or WORKLOADS[:4])]
+    names = list(args.benchmarks) or list(WORKLOADS[:4])
+    unknown = [n for n in names if n not in WORKLOADS]
+    if unknown:
+        print(
+            f"error: unknown benchmark{'s' if len(unknown) > 1 else ''}: "
+            + ", ".join(unknown),
+            file=sys.stderr,
+        )
+        print("valid workloads: " + ", ".join(WORKLOADS), file=sys.stderr)
+        return 2
+    wls = [by_name(n) for n in names]
     run = synthesize_lifting_rules(
         workloads=wls,
         max_lhs_size=args.max_lhs_size,
@@ -184,6 +280,12 @@ def main(argv=None) -> int:
     p.add_argument("--show-fpir", action="store_true")
     p.add_argument("--stats", action="store_true",
                    help="print the per-pass timing/rewrite breakdown")
+    p.add_argument("--trace", metavar="FILE",
+                   help="write a Chrome-trace-viewer JSON of the "
+                        "compilation (spans + rule events)")
+    p.add_argument("--explain", action="store_true",
+                   help="annotate each instruction with the lift/lower "
+                        "rule chain that produced it")
     p.set_defaults(fn=cmd_compile)
 
     p = sub.add_parser("evaluate", help="regenerate a paper figure")
@@ -202,9 +304,28 @@ def main(argv=None) -> int:
     p.add_argument("--verify", action="store_true")
     p.set_defaults(fn=cmd_rules)
 
+    p = sub.add_parser(
+        "coverage",
+        help="report per-rule fire counts over the benchmark suite",
+    )
+    p.add_argument("--target", default="all",
+                   help="target name, 'all' (paper targets) or 'every'")
+    p.add_argument("--verbose", action="store_true",
+                   help="list the fire count of every rule")
+    p.add_argument("--json", metavar="FILE",
+                   help="also write the report as JSON")
+    p.add_argument("--baseline", metavar="FILE",
+                   help="known-dead rule names (one per line); exit "
+                        "non-zero only for dead hand-written rules NOT "
+                        "in this file (CI ratchet)")
+    p.set_defaults(fn=cmd_coverage)
+
     p = sub.add_parser("synthesize", help="run the §4 offline pipeline")
-    p.add_argument("benchmarks", nargs="*", choices=WORKLOADS + [[]],
-                   help="benchmarks to mine (default: first four)")
+    # Names are validated in cmd_synthesize (an empty list must be legal
+    # for the default set, which argparse ``choices`` cannot express).
+    p.add_argument("benchmarks", nargs="*", metavar="benchmark",
+                   help="benchmarks to mine (default: first four); see "
+                        "'workloads' for valid names")
     p.add_argument("--max-lhs-size", type=int, default=6)
     p.add_argument("--max-candidates", type=int, default=60)
     p.add_argument("--out", help="write learned rules to a rule file")

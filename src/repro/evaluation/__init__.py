@@ -6,6 +6,7 @@ from .compile_time import (  # noqa: F401
     CompileTimeEvaluation,
     run_compile_time_evaluation,
 )
+from .coverage import CoverageReport, run_coverage  # noqa: F401
 from .runtime import (  # noqa: F401
     BenchmarkResult,
     RuntimeEvaluation,

@@ -45,13 +45,40 @@ class CompileTimeResult:
 
 @dataclass
 class CompileTimeEvaluation:
+    """A batch of Figure 6 measurements with table/JSON renderings."""
+
     results: List[CompileTimeResult] = field(default_factory=list)
 
     def geomean_speedup(self, target_name: str) -> float:
+        """Geometric-mean compile-time speedup on one target."""
         vals = [
             r.speedup for r in self.results if r.target == target_name
         ]
         return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+    def to_dict(self) -> dict:
+        """Machine-readable snapshot (the ``BENCH_fig6.json`` payload)."""
+        out: dict = {
+            "results": [
+                {
+                    "workload": r.workload,
+                    "target": r.target,
+                    "llvm_seconds": r.llvm_seconds,
+                    "pitchfork_seconds": r.pitchfork_seconds,
+                    "speedup": r.speedup,
+                    "stats": None if r.stats is None else r.stats.to_dict(),
+                }
+                for r in self.results
+            ],
+            "geomean_speedup": {},
+            "pass_breakdown": aggregate_pass_breakdown(self.results),
+        }
+        for t in sorted({r.target for r in self.results}):
+            try:
+                out["geomean_speedup"][t] = self.geomean_speedup(t)
+            except (ValueError, ZeroDivisionError):  # pragma: no cover
+                pass
+        return out
 
     def format_table(self) -> str:
         by_wl: Dict[str, Dict[str, CompileTimeResult]] = {}

@@ -1,0 +1,211 @@
+"""Rule-coverage report: which rewrite rules actually fire, and where.
+
+Compiles the full benchmark suite (16 workloads × the paper's 3 targets
+by default) with metrics-only observation and reports the fire count of
+every registered lifting and lowering rule.  Rules that never fire
+anywhere are *dead*: for synthesized rules that is expected churn, but a
+dead hand-written rule is either a missed pattern in the suite or a rule
+subsumed by a cheaper one — exactly the coverage/cost feedback a rule-
+synthesis loop (Daly et al.) consumes.  ``python -m repro coverage``
+prints this report and exits non-zero iff a hand-written rule is dead.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..observe import MetricsRegistry, Observation
+from ..pipeline import pitchfork_compile
+from ..targets import PAPER_TARGETS, Target
+from ..workloads import all_workloads
+
+__all__ = ["CoverageReport", "RuleCoverage", "run_coverage"]
+
+
+@dataclass(frozen=True)
+class RuleCoverage:
+    """Fire statistics for one registered rule across the sweep."""
+
+    name: str
+    source: str
+    phase: str  # 'lift' | 'lower'
+    ruleset: str  # 'lifting' | a target name
+    fires: int
+
+    @property
+    def is_hand(self) -> bool:
+        """True for manually-written rules (``source == "hand"``)."""
+        return self.source == "hand"
+
+    @property
+    def is_dead(self) -> bool:
+        """True if the rule never fired anywhere in the sweep."""
+        return self.fires == 0
+
+
+@dataclass
+class CoverageReport:
+    """Per-rule fire counts for one suite sweep, plus the raw metrics."""
+
+    rows: List[RuleCoverage] = field(default_factory=list)
+    workloads: List[str] = field(default_factory=list)
+    targets: List[str] = field(default_factory=list)
+    metrics: Optional[MetricsRegistry] = None
+
+    @property
+    def dead(self) -> List[RuleCoverage]:
+        """Every rule that never fired."""
+        return [r for r in self.rows if r.is_dead]
+
+    @property
+    def dead_hand_rules(self) -> List[RuleCoverage]:
+        """Dead *hand-written* rules — the CI-gating subset."""
+        return [r for r in self.rows if r.is_dead and r.is_hand]
+
+    @property
+    def ok(self) -> bool:
+        """True when no hand-written rule is dead."""
+        return not self.dead_hand_rules
+
+    def format_table(self, verbose: bool = False) -> str:
+        """Human-readable coverage report.
+
+        Default output lists per-ruleset totals plus every dead rule;
+        ``verbose`` lists the fire count of every rule.
+        """
+        lines = [
+            f"rule coverage over {len(self.workloads)} workloads x "
+            f"{len(self.targets)} targets "
+            f"({', '.join(self.targets)})"
+        ]
+        by_set: Dict[str, List[RuleCoverage]] = {}
+        for r in self.rows:
+            by_set.setdefault(r.ruleset, []).append(r)
+        for ruleset, rows in by_set.items():
+            live = sum(1 for r in rows if not r.is_dead)
+            fires = sum(r.fires for r in rows)
+            lines.append(
+                f"-- {ruleset}: {live}/{len(rows)} rules fired, "
+                f"{fires} total applications"
+            )
+            shown = rows if verbose else []
+            for r in sorted(shown, key=lambda r: -r.fires):
+                tag = "" if r.is_hand else f"  [{r.source}]"
+                lines.append(f"   {r.name:<44} {r.fires:>6}{tag}")
+        dead = self.dead
+        if dead:
+            lines.append(
+                f"dead rules ({len(dead)}; synthesis-feedback candidates):"
+            )
+            for r in dead:
+                kind = "HAND-WRITTEN" if r.is_hand else "synthesized"
+                lines.append(
+                    f"   {r.name:<44} [{r.ruleset}] {kind} ({r.source})"
+                )
+        else:
+            lines.append("dead rules: none")
+        hand_dead = self.dead_hand_rules
+        lines.append(
+            "coverage: OK (every hand-written rule fires)"
+            if not hand_dead
+            else f"coverage: FAIL ({len(hand_dead)} dead hand-written "
+            f"rule{'s' if len(hand_dead) != 1 else ''})"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot (rules + sweep parameters)."""
+        return {
+            "workloads": self.workloads,
+            "targets": self.targets,
+            "rules": [
+                {
+                    "name": r.name,
+                    "source": r.source,
+                    "phase": r.phase,
+                    "ruleset": r.ruleset,
+                    "fires": r.fires,
+                }
+                for r in self.rows
+            ],
+            "dead": [r.name for r in self.dead],
+            "dead_hand_rules": [r.name for r in self.dead_hand_rules],
+        }
+
+    def to_json(self, indent: Optional[int] = 1) -> str:
+        """:meth:`to_dict`, serialized."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+def run_coverage(
+    workload_names: Optional[Sequence[str]] = None,
+    targets: Optional[Sequence[Target]] = None,
+    use_synthesized: bool = True,
+) -> CoverageReport:
+    """Compile the suite with rule telemetry on; tabulate per-rule fires.
+
+    Each compile runs with a metrics-only :class:`Observation` (no event
+    trace, fresh provenance) sharing one registry, so fire counts
+    aggregate across the whole sweep.
+    """
+    from ..lifting import HAND_RULES, SYNTHESIZED_RULES
+
+    wls = all_workloads()
+    if workload_names is not None:
+        keep = set(workload_names)
+        wls = [w for w in wls if w.name in keep]
+    tgts = list(targets) if targets is not None else list(PAPER_TARGETS)
+
+    registry = MetricsRegistry()
+    for wl in wls:
+        for t in tgts:
+            pitchfork_compile(
+                wl.expr,
+                t,
+                var_bounds=wl.var_bounds,
+                use_synthesized=use_synthesized,
+                trace=Observation.quiet(metrics=registry),
+            )
+
+    rows: List[RuleCoverage] = []
+    lifting_rules = list(HAND_RULES)
+    if use_synthesized:
+        lifting_rules += list(SYNTHESIZED_RULES)
+    for r in lifting_rules:
+        rows.append(
+            RuleCoverage(
+                name=r.name,
+                source=r.source,
+                phase="lift",
+                ruleset="lifting",
+                fires=registry.counter_value(
+                    "rule_fired", rule=r.name, source=r.source, phase="lift"
+                ),
+            )
+        )
+    for t in tgts:
+        for r in t.lowering_rules:
+            if not use_synthesized and r.is_synthesized:
+                continue
+            rows.append(
+                RuleCoverage(
+                    name=r.name,
+                    source=r.source,
+                    phase="lower",
+                    ruleset=t.name,
+                    fires=registry.counter_value(
+                        "rule_fired",
+                        rule=r.name,
+                        source=r.source,
+                        phase="lower",
+                    ),
+                )
+            )
+    return CoverageReport(
+        rows=rows,
+        workloads=[w.name for w in wls],
+        targets=[t.name for t in tgts],
+        metrics=registry,
+    )

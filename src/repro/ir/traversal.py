@@ -22,22 +22,37 @@ __all__ = [
 
 
 def transform_bottom_up(
-    expr: Expr, fn: Callable[[Expr], Optional[Expr]]
+    expr: Expr,
+    fn: Callable[[Expr], Optional[Expr]],
+    on_rebuild: Optional[Callable[[Expr, Expr], None]] = None,
 ) -> Expr:
     """Rebuild ``expr`` post-order, applying ``fn`` at every node.
 
     ``fn`` receives a node whose children have already been transformed and
     returns a replacement, or ``None`` to keep the node unchanged.
+
+    ``on_rebuild(old, new)`` is invoked whenever a node is reconstructed
+    with transformed children (used by provenance tracking to carry
+    metadata across the rebuild); the branch costs nothing on the default
+    ``None`` path except when a rebuild actually happens.
     """
-    new_children = [transform_bottom_up(c, fn) for c in expr.children]
+    new_children = [
+        transform_bottom_up(c, fn, on_rebuild) for c in expr.children
+    ]
     if any(n is not o for n, o in zip(new_children, expr.children)):
-        expr = expr.with_children(new_children)
+        rebuilt = expr.with_children(new_children)
+        if on_rebuild is not None:
+            on_rebuild(expr, rebuilt)
+        expr = rebuilt
     replaced = fn(expr)
     return expr if replaced is None else replaced
 
 
 def transform_bottom_up_memo(
-    expr: Expr, fn: Callable[[Expr], Optional[Expr]], memo: Dict[Expr, Expr]
+    expr: Expr,
+    fn: Callable[[Expr], Optional[Expr]],
+    memo: Dict[Expr, Expr],
+    on_rebuild: Optional[Callable[[Expr, Expr], None]] = None,
 ) -> Expr:
     """:func:`transform_bottom_up` with per-subtree memoization.
 
@@ -54,9 +69,13 @@ def transform_bottom_up_memo(
     kids = expr.children
     cur = expr
     if kids:
-        new_kids = [transform_bottom_up_memo(c, fn, memo) for c in kids]
+        new_kids = [
+            transform_bottom_up_memo(c, fn, memo, on_rebuild) for c in kids
+        ]
         if any(n is not o for n, o in zip(new_kids, kids)):
             cur = expr.with_children(new_kids)
+            if on_rebuild is not None:
+                on_rebuild(expr, cur)
     replaced = fn(cur)
     result = cur if replaced is None else replaced
     memo[expr] = result

@@ -42,17 +42,20 @@ def _fold(node: E.Expr) -> Optional[E.Expr]:
 
 
 def fold_constants(
-    expr: E.Expr, memo: Optional[Dict[E.Expr, E.Expr]] = None
+    expr: E.Expr,
+    memo: Optional[Dict[E.Expr, E.Expr]] = None,
+    on_rebuild=None,
 ) -> E.Expr:
     """Fold constant subtrees bottom-up.
 
     ``memo`` optionally caches per-subtree results; the lowering loop
     passes one dict across its (up to 64) fold/rewrite/expand iterations
-    so unchanged regions are never re-folded.
+    so unchanged regions are never re-folded.  ``on_rebuild`` is
+    forwarded to the traversal (provenance tracking across rebuilds).
     """
     if memo is None:
-        return transform_bottom_up(expr, _fold)
-    return transform_bottom_up_memo(expr, _fold, memo)
+        return transform_bottom_up(expr, _fold, on_rebuild)
+    return transform_bottom_up_memo(expr, _fold, memo, on_rebuild)
 
 
 def _is_const(e: E.Expr, v: int) -> bool:

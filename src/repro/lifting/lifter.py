@@ -54,15 +54,23 @@ class Lifter:
         if excluded:
             builtin = [r for r in builtin if not r.excluded_by(excluded)]
         rules = builtin + list(extra_rules)
-        self.engine = RewriteEngine(rules, require_cost_decrease=True)
+        self.engine = RewriteEngine(
+            rules, require_cost_decrease=True, name="lift"
+        )
 
     def rewrite(
-        self, expr: Expr, analyzer: Optional[BoundsAnalyzer] = None
+        self,
+        expr: Expr,
+        analyzer: Optional[BoundsAnalyzer] = None,
+        obs=None,
     ) -> RewriteResult:
         """Rewrite an already-canonicalized expression to the FPIR
-        fixed point (the pass pipeline canonicalizes separately)."""
+        fixed point (the pass pipeline canonicalizes separately).
+
+        ``obs`` is an optional :class:`~repro.observe.Observation`
+        receiving rule-fired telemetry and provenance."""
         ctx = BoundsContext(analyzer if analyzer is not None else BoundsAnalyzer())
-        return self.engine.rewrite(expr, ctx)
+        return self.engine.rewrite(expr, ctx, obs=obs)
 
     def lift(
         self, expr: Expr, analyzer: Optional[BoundsAnalyzer] = None
@@ -86,7 +94,9 @@ class LiftPass(Pass):
         self.lifter = lifter
 
     def run(self, expr: Expr, ctx: PassContext) -> Expr:
-        result = self.lifter.rewrite(expr, BoundsAnalyzer(ctx.var_bounds))
+        result = self.lifter.rewrite(
+            expr, BoundsAnalyzer(ctx.var_bounds), obs=ctx.observe
+        )
         ctx.extras["lifted"] = result.expr
         ctx.extras["lift_rules_used"] = result.rules_used
         ctx.rewrites += len(result.applications)

@@ -79,7 +79,7 @@ class Lowerer:
         if excluded:
             builtin = [r for r in builtin if not r.excluded_by(excluded)]
         rules = list(extra_rules) + builtin
-        self.engine = RewriteEngine(rules, strategy="top_down")
+        self.engine = RewriteEngine(rules, strategy="top_down", name="lower")
 
     # ------------------------------------------------------------------
     def lower(
@@ -89,7 +89,10 @@ class Lowerer:
         return self.lower_with_stats(expr, analyzer)[0]
 
     def lower_with_stats(
-        self, expr: E.Expr, analyzer: Optional[BoundsAnalyzer] = None
+        self,
+        expr: E.Expr,
+        analyzer: Optional[BoundsAnalyzer] = None,
+        obs=None,
     ) -> Tuple[E.Expr, Dict[str, int]]:
         """Lower; also return counters (rule applications, iterations).
 
@@ -97,28 +100,42 @@ class Lowerer:
         definitional expansion — are pure for a fixed context, so each
         keeps a memo dict alive across the (up to 64) iterations: regions
         that already converged are never re-traversed.
+
+        ``obs`` is an optional :class:`~repro.observe.Observation`: rule
+        firings, memo-cache hit rates, lowering iterations and the
+        expansion/residue provenance all land in it when present.
         """
         ctx = BoundsContext(
             analyzer if analyzer is not None else BoundsAnalyzer()
         )
         stats = {"rewrites": 0, "iterations": 0, "expansions": 0}
         fold_memo: Dict[E.Expr, E.Expr] = {}
-        rewrite_memo: Dict[E.Expr, E.Expr] = {}
+        rewrite_memo: Dict[E.Expr, E.Expr] = (
+            {} if obs is None else obs.memo("lower")
+        )
         expand_memo: Dict[E.Expr, E.Expr] = {}
 
         def expand_fpir(n: E.Expr) -> Optional[E.Expr]:
             if isinstance(n, FPIRInstr):
                 stats["expansions"] += 1
-                return expand(n)
+                out = expand(n)
+                if obs is not None and out is not None:
+                    obs.expansion("expand", type(n).__name__, n, out)
+                return out
             return None
 
+        inherit = None if obs is None else obs.provenance.inherit
         current = expr
         for _ in range(64):
             stats["iterations"] += 1
             # Fold constants exposed by expansion (e.g. widened shift
             # amounts) so they stay broadcast operands, not instructions.
-            current = fold_constants(current, memo=fold_memo)
-            result = self.engine.rewrite(current, ctx, memo=rewrite_memo)
+            current = fold_constants(
+                current, memo=fold_memo, on_rebuild=inherit
+            )
+            result = self.engine.rewrite(
+                current, ctx, memo=rewrite_memo, obs=obs
+            )
             current = result.expr
             stats["rewrites"] += len(result.applications)
             leftover = _find_fpir(current)
@@ -127,7 +144,10 @@ class Lowerer:
             # Fallback: one definitional step for every rule-less FPIR
             # node, then retry the TRS (the expansion may expose rules).
             expanded = transform_bottom_up_memo(
-                current, expand_fpir, expand_memo
+                current,
+                expand_fpir,
+                expand_memo,
+                on_rebuild=None if obs is None else obs.provenance.inherit,
             )
             if expanded is current or expanded == current:
                 raise LoweringError(
@@ -140,20 +160,42 @@ class Lowerer:
                 f"{self.target.name}: lowering did not converge"
             )
 
-        return self._map_residue(current), stats
+        if obs is not None:
+            obs.metrics.histogram(
+                "lowering_iterations", target=self.target.name
+            ).observe(stats["iterations"])
+        return self._map_residue(current, obs=obs), stats
 
     # ------------------------------------------------------------------
-    def _map_residue(self, expr: E.Expr) -> E.Expr:
+    def _map_residue(self, expr: E.Expr, obs=None) -> E.Expr:
         """Generic-map all remaining core IR nodes, bottom-up."""
-        expr = fold_constants(expr)
+        expr = fold_constants(
+            expr,
+            on_rebuild=None if obs is None else obs.provenance.inherit,
+        )
         mapper = self.target.generic
 
-        def map_node(node: E.Expr):
-            if isinstance(node, (TargetOp, E.Var, E.Const)):
-                return None
-            return mapper.map_node(node)
+        if obs is None:
 
-        lowered = transform_bottom_up(expr, map_node)
+            def map_node(node: E.Expr):
+                if isinstance(node, (TargetOp, E.Var, E.Const)):
+                    return None
+                return mapper.map_node(node)
+
+        else:
+
+            def map_node(node: E.Expr):
+                if isinstance(node, (TargetOp, E.Var, E.Const)):
+                    return None
+                out = mapper.map_node(node)
+                obs.expansion("generic", out.spec.name, node, out)
+                return out
+
+        lowered = transform_bottom_up(
+            expr,
+            map_node,
+            on_rebuild=None if obs is None else obs.provenance.inherit,
+        )
         if not is_lowered(lowered):
             bad = next(
                 n
@@ -181,7 +223,7 @@ class LowerPass(Pass):
 
     def run(self, expr: E.Expr, ctx: PassContext) -> E.Expr:
         lowered, stats = self.lowerer.lower_with_stats(
-            expr, BoundsAnalyzer(ctx.var_bounds)
+            expr, BoundsAnalyzer(ctx.var_bounds), obs=ctx.observe
         )
         ctx.extras["lowering"] = stats
         ctx.rewrites += stats["rewrites"]

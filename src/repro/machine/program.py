@@ -9,13 +9,19 @@ Intel-ish syntax.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from ..ir import expr as E
 from ..ir.types import ScalarType
 from ..targets import TargetOp
 
-__all__ = ["AsmLine", "linearize", "format_assembly"]
+__all__ = [
+    "AsmLine",
+    "linearize",
+    "linearize_with_nodes",
+    "format_assembly",
+    "format_explained",
+]
 
 
 @dataclass(frozen=True)
@@ -35,10 +41,16 @@ def _reg_suffix(t: object) -> str:
     return ""
 
 
-def linearize(program: E.Expr) -> List[AsmLine]:
-    """Post-order instruction schedule with value numbering."""
+def linearize_with_nodes(
+    program: E.Expr,
+) -> List[Tuple[AsmLine, E.Expr]]:
+    """Post-order instruction schedule with value numbering.
+
+    Returns ``(line, node)`` pairs so callers can attach per-instruction
+    metadata (e.g. rule provenance) to the listing.
+    """
     names: Dict[E.Expr, str] = {}
-    lines: List[AsmLine] = []
+    lines: List[Tuple[AsmLine, E.Expr]] = []
     append = lines.append
     counter = 0
     leaf = (E.Var, E.Const)
@@ -66,12 +78,64 @@ def linearize(program: E.Expr) -> List[AsmLine]:
                 operands.append(f"#{c.value}")
             else:
                 operands.append(names[c])
-        append(AsmLine(reg, mnemonic, tuple(operands)))
+        append((AsmLine(reg, mnemonic, tuple(operands)), node))
 
     visit(program)
     return lines
 
 
+def linearize(program: E.Expr) -> List[AsmLine]:
+    """Post-order instruction schedule with value numbering."""
+    return [line for line, _ in linearize_with_nodes(program)]
+
+
 def format_assembly(program: E.Expr) -> str:
     """Render as a Figure 3-style listing."""
     return "\n".join(str(line) for line in linearize(program))
+
+
+def format_explained(program: E.Expr, provenance) -> str:
+    """Figure 3-style listing with a per-line provenance annotation.
+
+    ``provenance`` is a :class:`~repro.observe.Provenance`.  Each line is
+    annotated with the rule chain that produced its instruction
+    (``; lift:lift-absd -> lower:arm-uabd``).  An instruction whose own
+    node carries no chain (a rebuilt intermediate, e.g. residue mapping
+    of an untouched source op) inherits lineage from the nearest operand
+    subtree that does, marked ``via``; a line with no lineage anywhere is
+    genuine source structure, marked ``; source``.
+    """
+    pairs = linearize_with_nodes(program)
+    if not pairs:
+        return ""
+    width = max(len(str(line)) for line, _ in pairs)
+
+    def names_rule(chain) -> bool:
+        return any(e.phase in ("lift", "lower") for e in chain)
+
+    def lineage(node: E.Expr) -> str:
+        desc = provenance.describe(node)
+        if names_rule(provenance.chain(node)):
+            return desc
+        # The node's own chain names no rewrite rule (e.g. generic residue
+        # mapping of untouched source structure): surface the nearest
+        # operand lineage that does — the rules whose values it combines.
+        via = ""
+        stack = list(node.children)
+        while stack:
+            n = stack.pop(0)
+            if names_rule(provenance.chain(n)):
+                via = provenance.describe(n)
+                break
+            stack.extend(n.children)
+        if desc and via:
+            return f"{desc} (operands via {via})"
+        if desc:
+            return desc
+        if via:
+            return f"via {via}"
+        return "source"
+
+    return "\n".join(
+        f"{str(line):<{width}}  ; {lineage(node)}" for line, node in pairs
+    )

@@ -1,0 +1,38 @@
+"""Observability: compile tracing, metrics, and instruction provenance.
+
+Three cooperating primitives, bundled by :class:`Observation`:
+
+* :class:`~repro.observe.tracer.Tracer` — span-based wall-clock tracing
+  (compile → pass → rule application), exportable as Chrome-trace-viewer
+  JSON (``chrome://tracing`` / Perfetto format);
+* :class:`~repro.observe.metrics.MetricsRegistry` — labelled counters and
+  histograms: per-rule fire counts, precheck hit/miss ratios, memo-cache
+  hits, rewrite iterations to fixpoint;
+* :class:`~repro.observe.provenance.Provenance` — a record of which
+  rewrite-rule chain produced each node of the lowered program, so every
+  :class:`~repro.pipeline.CompiledProgram` can answer "which rules emitted
+  this instruction?" (``--explain``).
+
+The contract is *opt-in, near-zero overhead when off*: the hot paths
+(:mod:`repro.trs.rewriter`, :mod:`repro.passes.manager`) take an optional
+``Observation`` and select instrumented code paths only when one is
+present; the default (``None``) path is byte-identical to the
+uninstrumented pipeline.
+"""
+
+from .metrics import Counter, Histogram, MetricsRegistry, global_metrics
+from .observation import Observation
+from .provenance import Provenance, ProvenanceEntry
+from .tracer import NullTracer, Tracer
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "NullTracer",
+    "Observation",
+    "Provenance",
+    "ProvenanceEntry",
+    "Tracer",
+    "global_metrics",
+]

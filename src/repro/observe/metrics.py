@@ -1,0 +1,160 @@
+"""Labelled counters and histograms for the compile pipeline.
+
+A :class:`MetricsRegistry` interns :class:`Counter` and :class:`Histogram`
+instruments by ``(name, labels)``; hot loops hold the instrument object
+itself (one dict lookup per *loop*, one integer add per *event*).  The
+registry renders to a machine-readable snapshot via :meth:`to_dict` /
+:meth:`to_json` — consumed by the Figure 6 benchmark harness
+(``BENCH_fig6.json``) and the ``python -m repro coverage`` report.
+
+A process-wide default registry (:func:`global_metrics`) exists for
+long-lived tooling; per-compile observation creates private registries so
+concurrent measurements don't bleed into each other.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["Counter", "Histogram", "MetricsRegistry", "global_metrics"]
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> _LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing integer instrument."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: _LabelKey):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (default 1) to the counter."""
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Counter {self.name}{dict(self.labels)} = {self.value}>"
+
+
+class Histogram:
+    """A running summary (count / total / min / max) of observed values."""
+
+    __slots__ = ("name", "labels", "count", "total", "min", "max")
+
+    def __init__(self, name: str, labels: _LabelKey):
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observed samples (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Histogram {self.name}{dict(self.labels)} "
+            f"n={self.count} mean={self.mean:.3g}>"
+        )
+
+
+class MetricsRegistry:
+    """Interns instruments by ``(name, labels)`` and snapshots them."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, _LabelKey], Counter] = {}
+        self._histograms: Dict[Tuple[str, _LabelKey], Histogram] = {}
+
+    # -- instruments ---------------------------------------------------
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """The counter for ``(name, labels)``, created on first use."""
+        key = (name, _label_key(labels))
+        c = self._counters.get(key)
+        if c is None:
+            c = Counter(name, key[1])
+            self._counters[key] = c
+        return c
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        """The histogram for ``(name, labels)``, created on first use."""
+        key = (name, _label_key(labels))
+        h = self._histograms.get(key)
+        if h is None:
+            h = Histogram(name, key[1])
+            self._histograms[key] = h
+        return h
+
+    # -- queries -------------------------------------------------------
+    def counter_value(self, name: str, **labels: Any) -> int:
+        """Current value of a counter, 0 if it was never incremented."""
+        c = self._counters.get((name, _label_key(labels)))
+        return c.value if c is not None else 0
+
+    def counters(self, name: Optional[str] = None) -> Iterator[Counter]:
+        """All counters, optionally filtered by instrument name."""
+        for c in self._counters.values():
+            if name is None or c.name == name:
+                yield c
+
+    def histograms(self, name: Optional[str] = None) -> Iterator[Histogram]:
+        """All histograms, optionally filtered by instrument name."""
+        for h in self._histograms.values():
+            if name is None or h.name == name:
+                yield h
+
+    # -- export --------------------------------------------------------
+    def to_dict(self) -> Dict[str, List[Dict[str, Any]]]:
+        """JSON-ready snapshot: every counter and histogram with labels."""
+        counters = [
+            {"name": c.name, "labels": dict(c.labels), "value": c.value}
+            for c in self._counters.values()
+        ]
+        histograms = [
+            {
+                "name": h.name,
+                "labels": dict(h.labels),
+                "count": h.count,
+                "total": h.total,
+                "min": h.min,
+                "max": h.max,
+                "mean": h.mean,
+            }
+            for h in self._histograms.values()
+        ]
+        return {"counters": counters, "histograms": histograms}
+
+    def to_json(self, indent: Optional[int] = 1) -> str:
+        """:meth:`to_dict`, serialized."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._histograms)
+
+
+#: the process-wide default registry
+_GLOBAL = MetricsRegistry()
+
+
+def global_metrics() -> MetricsRegistry:
+    """The process-wide registry (for long-lived tooling/daemons)."""
+    return _GLOBAL

@@ -1,0 +1,152 @@
+"""Span-based wall-clock tracing with Chrome-trace-viewer export.
+
+A :class:`Tracer` records nested spans (``with tracer.span("lift"):``) and
+instant events; :meth:`Tracer.to_chrome_trace` renders them in the Trace
+Event Format that ``chrome://tracing`` and Perfetto load: a JSON list of
+event dicts with ``name``/``ph``/``ts`` (microseconds) — complete spans as
+``"ph": "X"`` events with a ``dur``, instants as ``"ph": "i"``.
+
+:class:`NullTracer` is the disabled twin: same interface, every call a
+no-op, so instrumented code never branches on "is tracing on?".
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["NullTracer", "Span", "Tracer"]
+
+
+@dataclass
+class Span:
+    """One completed (or still-open) span: name, start, duration, depth."""
+
+    name: str
+    start_us: float
+    depth: int
+    duration_us: Optional[float] = None
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def closed(self) -> bool:
+        """True once the span has been exited."""
+        return self.duration_us is not None
+
+
+class Tracer:
+    """Collects nested spans and instant events on one timeline.
+
+    Timestamps are ``time.perf_counter`` microseconds relative to the
+    tracer's creation, which is what the Chrome trace viewer expects.
+    """
+
+    #: distinguishes a live tracer from :class:`NullTracer` cheaply
+    enabled = True
+
+    def __init__(self) -> None:
+        self._t0 = time.perf_counter()
+        self.spans: List[Span] = []
+        self.instants: List[Span] = []
+        self._stack: List[Span] = []
+
+    # -- recording -----------------------------------------------------
+    def _now_us(self) -> float:
+        return (time.perf_counter() - self._t0) * 1e6
+
+    @contextmanager
+    def span(self, name: str, **args: Any) -> Iterator[Span]:
+        """Open a nested span for the duration of the ``with`` block."""
+        sp = Span(
+            name=name,
+            start_us=self._now_us(),
+            depth=len(self._stack),
+            args=dict(args),
+        )
+        self.spans.append(sp)
+        self._stack.append(sp)
+        try:
+            yield sp
+        finally:
+            self._stack.pop()
+            sp.duration_us = self._now_us() - sp.start_us
+
+    def instant(self, name: str, **args: Any) -> None:
+        """Record a zero-duration event (e.g. one rule application)."""
+        self.instants.append(
+            Span(
+                name=name,
+                start_us=self._now_us(),
+                depth=len(self._stack),
+                duration_us=0.0,
+                args=dict(args),
+            )
+        )
+
+    # -- export --------------------------------------------------------
+    def to_chrome_trace(self) -> List[Dict[str, Any]]:
+        """Render as a Chrome Trace Event Format event list.
+
+        Spans become complete (``"ph": "X"``) events, instants become
+        thread-scoped instant (``"ph": "i"``) events; both carry ``name``,
+        ``ts`` and ``args``, so the output loads directly in
+        ``chrome://tracing`` or https://ui.perfetto.dev.
+        """
+        events: List[Dict[str, Any]] = []
+        for sp in self.spans:
+            events.append(
+                {
+                    "name": sp.name,
+                    "ph": "X",
+                    "ts": round(sp.start_us, 3),
+                    "dur": round(sp.duration_us or 0.0, 3),
+                    "pid": 1,
+                    "tid": 1,
+                    "cat": "compile",
+                    "args": sp.args,
+                }
+            )
+        for ev in self.instants:
+            events.append(
+                {
+                    "name": ev.name,
+                    "ph": "i",
+                    "ts": round(ev.start_us, 3),
+                    "s": "t",
+                    "pid": 1,
+                    "tid": 1,
+                    "cat": "rule",
+                    "args": ev.args,
+                }
+            )
+        events.sort(key=lambda e: e["ts"])
+        return events
+
+    def write_chrome_trace(self, path: str) -> None:
+        """Write :meth:`to_chrome_trace` as JSON to ``path``."""
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome_trace(), fh, indent=1)
+
+
+class NullTracer(Tracer):
+    """A tracer that records nothing — the disabled-by-default twin."""
+
+    enabled = False
+
+    #: shared, immutable-by-convention empty span handed out by span()
+    _NULL_SPAN = Span(name="<null>", start_us=0.0, depth=0, duration_us=0.0)
+
+    def __init__(self) -> None:  # deliberately skips Tracer state
+        self.spans = []
+        self.instants = []
+
+    @contextmanager
+    def span(self, name: str, **args: Any) -> Iterator[Span]:
+        """No-op span: yields a shared dummy, records nothing."""
+        yield self._NULL_SPAN
+
+    def instant(self, name: str, **args: Any) -> None:
+        """No-op."""

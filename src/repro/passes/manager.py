@@ -58,6 +58,10 @@ class PassContext:
     extras: Dict[str, Any] = field(default_factory=dict)
     #: running rewrite-application counter, incremented by passes
     rewrites: int = 0
+    #: optional :class:`~repro.observe.Observation`; when set, the manager
+    #: opens a tracer span per pass and passes thread rule telemetry and
+    #: provenance into it (None = the zero-overhead default)
+    observe: Optional[Any] = None
 
 
 @dataclass(frozen=True)
@@ -100,11 +104,35 @@ class CompileStats:
                 f"{p.name:<14} {p.seconds * 1000:>8.2f} {p.rewrites:>9} "
                 f"{p.nodes_in:>9} {p.nodes_out:>10}"
             )
-        lines.append(
+        total = (
             f"{'total':<14} {self.total_seconds * 1000:>8.2f} "
             f"{self.rewrites:>9}"
         )
+        if self.passes:
+            # Aggregate node flow: what the pipeline consumed/emitted.
+            total += (
+                f" {self.passes[0].nodes_in:>9}"
+                f" {self.passes[-1].nodes_out:>10}"
+            )
+        lines.append(total)
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready snapshot (trace export, BENCH_fig6.json)."""
+        return {
+            "total_seconds": self.total_seconds,
+            "rewrites": self.rewrites,
+            "passes": [
+                {
+                    "name": p.name,
+                    "seconds": p.seconds,
+                    "rewrites": p.rewrites,
+                    "nodes_in": p.nodes_in,
+                    "nodes_out": p.nodes_out,
+                }
+                for p in self.passes
+            ],
+        }
 
 
 class PassManager:
@@ -116,16 +144,37 @@ class PassManager:
     def run(
         self, expr, ctx: Optional[PassContext] = None
     ) -> Tuple[Any, CompileStats]:
-        """Run every pass in order; returns (result, stats)."""
+        """Run every pass in order; returns (result, stats).
+
+        When ``ctx.observe`` carries an
+        :class:`~repro.observe.Observation`, each pass additionally runs
+        inside a tracer span (named ``pass:<name>``) whose args record
+        the same numbers as its :class:`PassStats` row, and per-pass wall
+        time is folded into the observation's metrics.
+        """
         ctx = ctx if ctx is not None else PassContext()
+        obs = ctx.observe
         stats: List[PassStats] = []
         t_start = time.perf_counter()
         for p in self.passes:
             nodes_in = expr.size
             rewrites_before = ctx.rewrites
-            t0 = time.perf_counter()
-            expr = p.run(expr, ctx)
-            seconds = time.perf_counter() - t0
+            if obs is None:
+                t0 = time.perf_counter()
+                expr = p.run(expr, ctx)
+                seconds = time.perf_counter() - t0
+            else:
+                with obs.tracer.span(
+                    f"pass:{p.name}", nodes_in=nodes_in
+                ) as span:
+                    t0 = time.perf_counter()
+                    expr = p.run(expr, ctx)
+                    seconds = time.perf_counter() - t0
+                    span.args["nodes_out"] = expr.size
+                    span.args["rewrites"] = ctx.rewrites - rewrites_before
+                obs.metrics.histogram(
+                    "pass_seconds", stage=p.name
+                ).observe(seconds)
             stats.append(
                 PassStats(
                     name=p.name,

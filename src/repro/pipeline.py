@@ -28,8 +28,9 @@ from .lifting.lifter import Lifter, LiftPass
 from .machine.llvm_baseline import LLVMBaseline, LLVMCompileError
 from .machine.lowerer import Lowerer, LowerPass
 from .machine.backend_passes import BackendPass, run_backend_passes
-from .machine.program import AsmLine, linearize
+from .machine.program import AsmLine, format_explained, linearize
 from .machine.simulator import CostBreakdown, cost_cycles, simulate
+from .observe import Observation
 from .passes import CompileStats, PassContext, PassManager
 from .targets import Target
 
@@ -57,6 +58,9 @@ class CompiledProgram:
     swizzle_discount: float = 0.0
     #: per-pass breakdown (None for flows not run through the PassManager)
     stats: Optional[CompileStats] = None
+    #: the observation bundle of a traced compile (None when tracing off);
+    #: its provenance answers "which rule chain produced this instruction"
+    observation: Optional[Observation] = None
     _lines: Optional[List[AsmLine]] = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -85,6 +89,27 @@ class CompiledProgram:
     def assembly(self) -> str:
         """Figure 3-style listing."""
         return "\n".join(str(line) for line in self.linearized())
+
+    @property
+    def provenance(self):
+        """The per-node rule-chain record (None unless compiled with
+        ``trace=``)."""
+        return self.observation.provenance if self.observation else None
+
+    def explain(self) -> str:
+        """Provenance-annotated assembly: each line names the lift/lower
+        rule chain that produced its instruction.
+
+        Requires the program to have been compiled with an
+        :class:`~repro.observe.Observation` (``trace=``); raises
+        ``ValueError`` otherwise.
+        """
+        if self.observation is None:
+            raise ValueError(
+                "no provenance recorded: compile with trace= "
+                "(an Observation) to enable --explain"
+            )
+        return format_explained(self.lowered, self.observation.provenance)
 
     @property
     def instructions(self) -> List[str]:
@@ -134,9 +159,29 @@ class PitchforkCompiler:
         self,
         expr: Expr,
         var_bounds: Optional[Dict[str, Interval]] = None,
+        trace: Optional[Observation] = None,
     ) -> CompiledProgram:
-        ctx = PassContext(target=self.target, var_bounds=var_bounds)
-        lowered, stats = self.passes.run(expr, ctx)
+        """Run the pass pipeline on ``expr``.
+
+        ``trace`` opts into observability: pass an
+        :class:`~repro.observe.Observation` and the compile runs inside a
+        root tracer span, every pass in a nested span, every rule firing
+        is counted, and instruction provenance is recorded (see
+        :meth:`CompiledProgram.explain`).  ``None`` (default) keeps the
+        pipeline on its uninstrumented, zero-overhead path.
+        """
+        ctx = PassContext(
+            target=self.target, var_bounds=var_bounds, observe=trace
+        )
+        if trace is None:
+            lowered, stats = self.passes.run(expr, ctx)
+        else:
+            with trace.tracer.span(
+                "compile", target=self.target.name, nodes=expr.size
+            ) as span:
+                lowered, stats = self.passes.run(expr, ctx)
+            # Fold the per-pass breakdown into the trace's root span.
+            span.args["stats"] = stats.to_dict()
         return CompiledProgram(
             source=expr,
             lifted=ctx.extras.get("lifted"),
@@ -146,6 +191,7 @@ class PitchforkCompiler:
             compile_seconds=stats.total_seconds,
             lift_rules_used=list(ctx.extras.get("lift_rules_used", [])),
             stats=stats,
+            observation=trace,
         )
 
 
@@ -159,12 +205,16 @@ def pitchfork_compile(
     var_bounds: Optional[Dict[str, Interval]] = None,
     use_synthesized: bool = True,
     exclude_sources: Iterable[str] = (),
+    trace: Optional[Observation] = None,
 ) -> CompiledProgram:
     """One-shot PITCHFORK compilation.
 
     Compiler instances (rule sets + engines) are cached per
     configuration, as in a long-lived compiler process; per-expression
     state (bounds caches) is still fresh for every call.
+
+    ``trace`` opts one compile into observability (spans, rule telemetry,
+    provenance) — see :meth:`PitchforkCompiler.compile`.
     """
     key = (target.name, use_synthesized, frozenset(exclude_sources))
     compiler = _COMPILER_CACHE.get(key)
@@ -175,7 +225,7 @@ def pitchfork_compile(
             exclude_sources=exclude_sources,
         )
         _COMPILER_CACHE[key] = compiler
-    return compiler.compile(expr, var_bounds)
+    return compiler.compile(expr, var_bounds, trace=trace)
 
 
 def rake_compile(

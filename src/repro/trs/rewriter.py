@@ -74,9 +74,12 @@ class RewriteEngine:
         max_passes: int = 64,
         cost_fn: Callable[[Expr], Cost] = cost,
         strategy: str = "bottom_up",
+        name: str = "trs",
     ):
         if strategy not in ("bottom_up", "top_down"):
             raise ValueError(f"unknown strategy {strategy!r}")
+        #: phase label stamped on telemetry (e.g. "lift", "lower")
+        self.name = name
         self.rules = list(rules)
         self.require_cost_decrease = require_cost_decrease
         self.max_passes = max_passes
@@ -170,6 +173,7 @@ class RewriteEngine:
         expr: Expr,
         ctx: Optional[RuleContext] = None,
         memo: Optional[Dict[Expr, Expr]] = None,
+        obs=None,
     ) -> RewriteResult:
         """Rewrite to a fixed point; returns the result and its trace.
 
@@ -177,39 +181,85 @@ class RewriteEngine:
         as long as the rule set and ``ctx`` are unchanged; callers running
         several rewrite sessions under one context (the lowering loop) may
         pass a shared dict to reuse work across sessions.
+
+        ``obs`` is an optional :class:`~repro.observe.Observation`: when
+        present, an instrumented matcher loop reports every rule firing
+        (name, source, subtree sizes), precheck hit/miss counts and the
+        number of fixpoint passes.  When absent (the default) the
+        uninstrumented loop below runs — the zero-overhead contract.
         """
         ctx = ctx if ctx is not None else RuleContext()
         trace: List[Tuple[str, Expr, Expr]] = []
         if memo is None:
-            memo = {}
+            memo = {} if obs is None else obs.memo(self.name)
         cost_fn = self.cost_fn
         gate = self.require_cost_decrease
         checked_rules_for = self._checked_rules_for
 
-        def apply_at(node: Expr) -> Optional[Expr]:
-            # Greedy: rules are pre-ordered (cheapest output first); the
-            # first applicable rule wins.
-            pairs = checked_rules_for(node)
-            if not pairs:
+        if obs is None:
+
+            def apply_at(node: Expr) -> Optional[Expr]:
+                # Greedy: rules are pre-ordered (cheapest output first);
+                # the first applicable rule wins.
+                pairs = checked_rules_for(node)
+                if not pairs:
+                    return None
+                node_cost = cost_fn(node) if gate else None
+                for rule, checks in pairs:
+                    ok = True
+                    for f, cls in checks:
+                        v = node if f is None else getattr(node, f)
+                        if type(v) is not cls:
+                            ok = False
+                            break
+                    if not ok:
+                        continue
+                    out = rule.apply(node, ctx)
+                    if out is None:
+                        continue
+                    if gate and not (cost_fn(out) < node_cost):
+                        continue
+                    trace.append((rule.name, node, out))
+                    return out
                 return None
-            node_cost = cost_fn(node) if gate else None
-            for rule, checks in pairs:
-                ok = True
-                for f, cls in checks:
-                    v = node if f is None else getattr(node, f)
-                    if type(v) is not cls:
-                        ok = False
-                        break
-                if not ok:
-                    continue
-                out = rule.apply(node, ctx)
-                if out is None:
-                    continue
-                if gate and not (cost_fn(out) < node_cost):
-                    continue
-                trace.append((rule.name, node, out))
-                return out
-            return None
+
+        else:
+            phase = self.name
+            precheck = obs.precheck_counters(phase)
+            cost_rejects = obs.metrics.counter("cost_rejected", phase=phase)
+
+            def apply_at(node: Expr) -> Optional[Expr]:
+                # Instrumented twin of the loop above: identical rewrite
+                # decisions, plus telemetry per (rule, node) attempt.
+                pairs = checked_rules_for(node)
+                if not pairs:
+                    return None
+                node_cost = cost_fn(node) if gate else None
+                for rule, checks in pairs:
+                    ok = True
+                    for f, cls in checks:
+                        v = node if f is None else getattr(node, f)
+                        if type(v) is not cls:
+                            ok = False
+                            break
+                    precheck[ok].value += 1
+                    if not ok:
+                        continue
+                    out = rule.apply(node, ctx)
+                    if out is None:
+                        continue
+                    if gate and not (cost_fn(out) < node_cost):
+                        cost_rejects.value += 1
+                        continue
+                    trace.append((rule.name, node, out))
+                    obs.rule_fired(phase, rule, node, out)
+                    return out
+                return None
+
+        # Provenance survives interior rebuilds: a node reconstructed
+        # because a child changed is the same production step with new
+        # operands (only consulted on the instrumented path).
+        inherit = None if obs is None else obs.provenance.inherit
 
         if self.strategy == "bottom_up":
 
@@ -223,6 +273,8 @@ class RewriteEngine:
                     new_kids = [step(c) for c in kids]
                     if any(n is not o for n, o in zip(new_kids, kids)):
                         cur = node.with_children(new_kids)
+                        if inherit is not None:
+                            inherit(node, cur)
                 replaced = apply_at(cur)
                 result = cur if replaced is None else replaced
                 memo[node] = result
@@ -242,13 +294,17 @@ class RewriteEngine:
                     new_kids = [step(c) for c in kids]
                     if any(n is not o for n, o in zip(new_kids, kids)):
                         result = cur.with_children(new_kids)
+                        if inherit is not None:
+                            inherit(cur, result)
                 memo[node] = result
                 return result
 
         current = expr
-        for _ in range(self.max_passes):
+        for i in range(self.max_passes):
             new = step(current)
             if new is current or new == current:
+                if obs is not None:
+                    obs.fixpoint(self.name, i + 1)
                 return RewriteResult(current, trace)
             current = new
         raise RewriteError(
@@ -261,6 +317,7 @@ class RewriteEngine:
         expr: Expr,
         ctx: Optional[RuleContext] = None,
         memo: Optional[Dict[Expr, Expr]] = None,
+        obs=None,
     ) -> Expr:
         """Convenience: rewrite and return just the expression."""
-        return self.rewrite(expr, ctx, memo=memo).expr
+        return self.rewrite(expr, ctx, memo=memo, obs=obs).expr

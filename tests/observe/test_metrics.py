@@ -1,0 +1,70 @@
+"""Unit tests for the counter/histogram registry."""
+
+import json
+
+from repro.observe import MetricsRegistry, global_metrics
+
+
+class TestCounters:
+    def test_counter_identity_by_name_and_labels(self):
+        reg = MetricsRegistry()
+        c1 = reg.counter("rule_fired", rule="a")
+        c2 = reg.counter("rule_fired", rule="a")
+        c3 = reg.counter("rule_fired", rule="b")
+        assert c1 is c2
+        assert c1 is not c3
+
+    def test_label_order_is_irrelevant(self):
+        reg = MetricsRegistry()
+        assert reg.counter("m", a=1, b=2) is reg.counter("m", b=2, a=1)
+
+    def test_inc_and_value_lookup(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", phase="lift").inc()
+        reg.counter("hits", phase="lift").inc(3)
+        assert reg.counter_value("hits", phase="lift") == 4
+        assert reg.counter_value("hits", phase="lower") == 0
+
+    def test_iteration_filters_by_name(self):
+        reg = MetricsRegistry()
+        reg.counter("a", x=1).inc()
+        reg.counter("a", x=2).inc()
+        reg.counter("b").inc()
+        assert len(list(reg.counters("a"))) == 2
+        assert len(list(reg.counters())) == 3
+
+
+class TestHistograms:
+    def test_observe_tracks_count_total_min_max(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("passes")
+        for v in (1, 5, 3):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 9
+        assert h.min == 1
+        assert h.max == 5
+        assert h.mean == 3
+
+    def test_empty_histogram_mean(self):
+        reg = MetricsRegistry()
+        assert reg.histogram("empty").mean == 0.0
+
+
+class TestExport:
+    def test_to_dict_and_json_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("rule_fired", rule="r", source="hand").inc(2)
+        reg.histogram("fixpoint", phase="lift").observe(4)
+        data = json.loads(reg.to_json())
+        assert data == reg.to_dict()
+        (c,) = data["counters"]
+        assert c["name"] == "rule_fired"
+        assert c["labels"] == {"rule": "r", "source": "hand"}
+        assert c["value"] == 2
+        (h,) = data["histograms"]
+        assert h["name"] == "fixpoint"
+        assert h["count"] == 1
+
+    def test_global_registry_is_a_singleton(self):
+        assert global_metrics() is global_metrics()

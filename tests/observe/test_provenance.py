@@ -1,0 +1,92 @@
+"""Unit tests for instruction provenance chains."""
+
+from repro.ir import builders as h
+from repro.ir import expr as E
+from repro.ir.types import U8, U16
+from repro.observe import Provenance, ProvenanceEntry
+
+a = h.var("a", U8)
+b = h.var("b", U8)
+
+
+class TestRecord:
+    def test_new_interior_nodes_are_attributed(self):
+        p = Provenance()
+        before = E.Add(E.Cast(U16, a), E.Cast(U16, b))
+        after = E.Cast(U16, E.Add(a, b))  # pretend a rule fused the casts
+        p.record("lift", "fuse", "hand", before, after)
+        assert p.describe(after) == "lift:fuse"
+        assert p.describe(E.Add(a, b)) == "lift:fuse"
+
+    def test_moved_subtrees_keep_their_own_provenance(self):
+        p = Provenance()
+        inner = E.Add(a, b)
+        p.record("lift", "r1", "hand", a, inner)
+        outer = E.Min(inner, b)
+        p.record("lift", "r2", "hand", inner, outer)
+        # The moved operand still names r1, not r2.
+        assert p.rules_for(inner) == ["r1"]
+        assert p.rules_for(outer) == ["r1", "r2"]
+
+    def test_leaves_are_never_attributed(self):
+        p = Provenance()
+        p.record("lift", "r", "hand", a, E.Add(a, b))
+        assert a not in p
+        assert b not in p
+
+    def test_rewrite_to_existing_subtree_claims_root(self):
+        p = Provenance()
+        before = E.Min(E.Add(a, b), E.Add(a, b))
+        after = E.Add(a, b)  # min(x, x) -> x style collapse
+        p.record("lift", "dedup", "hand", before, after)
+        assert p.describe(after) == "lift:dedup"
+
+
+class TestChains:
+    def test_parent_links_build_the_chain(self):
+        p = Provenance()
+        s1 = E.Add(a, b)
+        p.record("lift", "r1", "hand", a, s1)
+        s2 = E.Mul(s1, b)
+        p.record("lower", "r2", "hand", s1, s2)
+        assert p.rules_for(s2) == ["r1", "r2"]
+        assert p.describe(s2) == "lift:r1 -> lower:r2"
+        chain = p.chain(s2)
+        assert [e.phase for e in chain] == ["lift", "lower"]
+        assert chain[1].parent is chain[0]
+
+    def test_unrecorded_node_has_empty_chain(self):
+        p = Provenance()
+        assert p.chain(E.Add(a, b)) == []
+        assert p.describe(E.Add(a, b)) == ""
+        assert p.entry(E.Add(a, b)) is None
+        assert len(p) == 0
+
+    def test_entry_chain_is_earliest_first(self):
+        e1 = ProvenanceEntry("lift", "r1", "hand")
+        e2 = ProvenanceEntry("lower", "r2", "hand", parent=e1)
+        assert e2.chain() == [e1, e2]
+        assert e2.describe() == "lift:r1 -> lower:r2"
+
+
+class TestInherit:
+    def test_rebuilt_node_inherits_entry(self):
+        p = Provenance()
+        old = E.Add(a, b)
+        p.record("lift", "r", "hand", a, old)
+        new = E.Add(b, a)  # same production step, rewritten operands
+        p.inherit(old, new)
+        assert p.describe(new) == "lift:r"
+
+    def test_inherit_never_overwrites(self):
+        p = Provenance()
+        old, new = E.Add(a, b), E.Mul(a, b)
+        p.record("lift", "r-old", "hand", a, old)
+        p.record("lift", "r-new", "hand", b, new)
+        p.inherit(old, new)
+        assert p.rules_for(new) == ["r-new"]
+
+    def test_inherit_without_entry_is_a_noop(self):
+        p = Provenance()
+        p.inherit(E.Add(a, b), E.Mul(a, b))
+        assert len(p) == 0

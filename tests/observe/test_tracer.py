@@ -1,0 +1,82 @@
+"""Unit tests for the span tracer and its Chrome-trace export."""
+
+import json
+
+from repro.observe import NullTracer, Tracer
+
+
+class TestTracer:
+    def test_spans_nest_and_close(self):
+        tr = Tracer()
+        with tr.span("outer") as outer:
+            with tr.span("inner", detail=1) as inner:
+                assert inner.depth == 1
+            assert inner.closed
+            assert not outer.closed
+        assert outer.closed
+        assert outer.depth == 0
+        assert [s.name for s in tr.spans] == ["outer", "inner"]
+        assert outer.duration_us >= inner.duration_us
+
+    def test_span_survives_exceptions(self):
+        tr = Tracer()
+        try:
+            with tr.span("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert tr.spans[0].closed
+        assert tr._stack == []
+
+    def test_instants_record_depth_and_args(self):
+        tr = Tracer()
+        with tr.span("s"):
+            tr.instant("hit", rule="r1")
+        (ev,) = tr.instants
+        assert ev.name == "hit"
+        assert ev.depth == 1
+        assert ev.args == {"rule": "r1"}
+
+    def test_chrome_trace_format(self):
+        tr = Tracer()
+        with tr.span("compile", target="arm"):
+            tr.instant("rule:x")
+        events = tr.to_chrome_trace()
+        assert len(events) == 2
+        for ev in events:
+            assert {"name", "ph", "ts"} <= set(ev)
+        span_ev = next(e for e in events if e["ph"] == "X")
+        assert span_ev["name"] == "compile"
+        assert span_ev["args"] == {"target": "arm"}
+        assert span_ev["dur"] >= 0
+        inst_ev = next(e for e in events if e["ph"] == "i")
+        assert inst_ev["s"] == "t"
+        # Events come out time-ordered.
+        assert [e["ts"] for e in events] == sorted(e["ts"] for e in events)
+
+    def test_write_chrome_trace_is_loadable_json(self, tmp_path):
+        tr = Tracer()
+        with tr.span("a"):
+            pass
+        path = tmp_path / "trace.json"
+        tr.write_chrome_trace(str(path))
+        events = json.loads(path.read_text())
+        assert isinstance(events, list)
+        assert events[0]["name"] == "a"
+
+
+class TestNullTracer:
+    def test_records_nothing(self):
+        tr = NullTracer()
+        with tr.span("a", x=1) as sp:
+            tr.instant("b")
+            with tr.span("c"):
+                pass
+        assert tr.spans == []
+        assert tr.instants == []
+        assert tr.to_chrome_trace() == []
+        assert sp.name == "<null>"
+
+    def test_disabled_flag(self):
+        assert Tracer.enabled is True
+        assert NullTracer.enabled is False

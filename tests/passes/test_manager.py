@@ -99,6 +99,43 @@ class TestPassManager:
         table = stats.format_table()
         assert "alpha" in table and "beta" in table and "total" in table
 
+    def test_format_table_total_row_aggregates_node_flow(self):
+        log = []
+        pm = PassManager([
+            _Record("grow", log, transform=lambda e: E.Add(e, b)),
+            _Record("wrap", log, transform=lambda e: E.Min(e, e)),
+        ])
+        _, stats = pm.run(a)
+        total_row = stats.format_table().splitlines()[-1]
+        cols = total_row.split()
+        # total row aligns with the header: ms, rewrites, nodes in/out
+        assert cols[0] == "total"
+        assert int(cols[2]) == stats.rewrites
+        assert int(cols[3]) == stats.passes[0].nodes_in == 1
+        assert int(cols[4]) == stats.passes[-1].nodes_out == 7
+
+    def test_format_table_total_row_without_passes(self):
+        _, stats = PassManager([]).run(a)
+        total_row = stats.format_table().splitlines()[-1]
+        assert total_row.split()[0] == "total"
+        assert len(total_row.split()) == 3  # no node columns to aggregate
+
+    def test_to_dict_round_trips_the_breakdown(self):
+        log = []
+        pm = PassManager([
+            _Record("p1", log, rewrites=2),
+            _Record("p2", log, transform=lambda e: E.Add(e, b)),
+        ])
+        _, stats = pm.run(a)
+        data = stats.to_dict()
+        assert data["total_seconds"] == stats.total_seconds
+        assert data["rewrites"] == 2
+        assert [p["name"] for p in data["passes"]] == ["p1", "p2"]
+        assert data["passes"][1]["nodes_out"] == 3
+        import json
+
+        json.dumps(data)  # must be JSON-serializable as-is
+
     def test_empty_pipeline_is_identity(self):
         out, stats = PassManager([]).run(a)
         assert out is a

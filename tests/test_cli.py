@@ -1,5 +1,7 @@
 """CLI tests (`python -m repro`)."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -47,6 +49,40 @@ class TestCompile:
             assert name in out
         assert "rewrites" in out
 
+    def test_compile_stats_with_compare_notes_missing_stats(self, capsys):
+        assert main(
+            ["compile", "add", "--target", "arm-neon", "--compare",
+             "--rake", "--stats"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "per-pass breakdown (pitchfork)" in out
+        assert "(no per-pass stats for llvm)" in out
+        assert "(no per-pass stats for rake)" in out
+
+    def test_compile_trace_writes_chrome_json(self, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        assert main(
+            ["compile", "sobel3x3", "--target", "arm-neon",
+             "--trace", str(trace)]
+        ) == 0
+        assert "wrote Chrome trace" in capsys.readouterr().out
+        events = json.loads(trace.read_text())
+        assert isinstance(events, list) and events
+        for ev in events:
+            assert {"name", "ph", "ts"} <= set(ev)
+        names = {e["name"] for e in events if e["ph"] == "X"}
+        assert {"compile", "pass:lift", "pass:lower"} <= names
+
+    def test_compile_explain_annotates_every_line(self, capsys):
+        assert main(
+            ["compile", "sobel3x3", "--target", "arm-neon", "--explain"]
+        ) == 0
+        out = capsys.readouterr().out
+        asm = [ln for ln in out.splitlines() if " ; " in ln]
+        assert asm
+        for line in asm:
+            assert "lift:" in line or "lower:" in line
+
     def test_unknown_workload_rejected(self):
         with pytest.raises(SystemExit):
             main(["compile", "not_a_benchmark"])
@@ -71,7 +107,58 @@ class TestOtherCommands:
         assert main(["synthesize", "add", "--max-candidates", "10"]) == 0
         assert "corpus:" in capsys.readouterr().out
 
+    def test_synthesize_rejects_unknown_benchmark(self, capsys):
+        assert main(["synthesize", "add", "not_a_benchmark"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown benchmark: not_a_benchmark" in err
+        assert "valid workloads:" in err
+        assert "sobel3x3" in err
+
     def test_evaluate_fig3(self, capsys):
         assert main(["evaluate", "fig3"]) == 0
         out = capsys.readouterr().out
         assert "Figure 3(a)" in out or "(a)" in out
+
+
+class TestCoverage:
+    def test_coverage_report_and_exit_code(self, capsys):
+        # The single-target sweep leaves hand-written rules dead, so the
+        # bare command exits non-zero while still printing the report.
+        rc = main(["coverage", "--target", "arm-neon"])
+        out = capsys.readouterr().out
+        assert "rule coverage over 16 workloads x 1 targets" in out
+        assert "-- lifting:" in out
+        assert rc == (1 if "FAIL" in out else 0)
+
+    def test_coverage_json_export(self, tmp_path, capsys):
+        report = tmp_path / "coverage.json"
+        main(["coverage", "--target", "arm-neon", "--json", str(report)])
+        data = json.loads(report.read_text())
+        assert data["targets"] == ["arm-neon"]
+        assert any(r["fires"] for r in data["rules"])
+
+    def test_coverage_baseline_ratchet(self, tmp_path, capsys):
+        # A baseline listing every currently-dead hand rule makes the
+        # ratchet pass; an empty baseline fails on the same sweep.
+        rc = main(["coverage", "--target", "arm-neon"])
+        first = capsys.readouterr().out
+        baseline = tmp_path / "baseline.txt"
+        dead = [
+            ln.split()[0]
+            for ln in first.splitlines()
+            if "HAND-WRITTEN" in ln
+        ]
+        baseline.write_text("# known gaps\n" + "\n".join(dead) + "\n")
+        assert main(
+            ["coverage", "--target", "arm-neon",
+             "--baseline", str(baseline)]
+        ) == 0
+        capsys.readouterr()
+        empty = tmp_path / "empty.txt"
+        empty.write_text("")
+        rc2 = main(
+            ["coverage", "--target", "arm-neon", "--baseline", str(empty)]
+        )
+        assert rc2 == rc
+        if rc:
+            assert "newly dead" in capsys.readouterr().out
