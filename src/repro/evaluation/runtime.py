@@ -20,7 +20,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..interp import evaluate
+from ..interp import compile_expr
 from ..pipeline import (
     LLVMCompileError,
     llvm_compile,
@@ -144,24 +144,40 @@ def run_one(
     with_rake: bool = True,
     verify_lanes: int = 32,
     leave_one_out: bool = True,
+    verify_rounds: int = 3,
 ) -> BenchmarkResult:
-    """Compile one benchmark on one target with all compilers + verify."""
+    """Compile one benchmark on one target with all compilers + verify.
+
+    The lane-exact execution check runs ``verify_rounds`` rounds of fresh
+    random inputs; every program (source, PITCHFORK, LLVM, Rake) is
+    compiled to its interpreter closure once and reused across rounds.
+    """
     exclude = {f"synth:{wl.name}"} if leave_one_out else set()
     pf = pitchfork_compile(
         wl.expr, target, var_bounds=wl.var_bounds, exclude_sources=exclude
     )
     llvm, substituted = _compile_llvm(wl, target)
 
-    env = wl.random_env(lanes=verify_lanes, seed=11)
-    ref = evaluate(wl.expr, env)
-    verified = pf.run(env) == ref and llvm.run(env) == ref
-
+    src_fn = compile_expr(wl.expr)
+    pf_fn = compile_expr(pf.lowered)
+    llvm_fn = compile_expr(llvm.lowered)
+    rake = None
     rake_cycles = None
     if with_rake and target.name in RAKE_TARGETS:
         rake = rake_compile(wl.expr, target, var_bounds=wl.var_bounds)
-        if rake.run(env) != ref:
-            verified = False
         rake_cycles = rake.cost().total
+    rake_fn = compile_expr(rake.lowered) if rake is not None else None
+
+    verified = True
+    for round_idx in range(verify_rounds):
+        env = wl.random_env(lanes=verify_lanes, seed=11 + round_idx)
+        ref = src_fn(env, verify_lanes)
+        if pf_fn(env, verify_lanes) != ref:
+            verified = False
+        if llvm_fn(env, verify_lanes) != ref:
+            verified = False
+        if rake_fn is not None and rake_fn(env, verify_lanes) != ref:
+            verified = False
 
     return BenchmarkResult(
         workload=wl.name,

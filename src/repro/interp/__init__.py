@@ -1,9 +1,26 @@
-"""Reference interpreter for core IR, FPIR and lowered target programs."""
+"""Reference interpreter for core IR, FPIR and lowered target programs.
+
+Two backends with identical exact-integer semantics:
+
+* :func:`evaluate` — the public entry point; compiles each hash-consed
+  expression once into a flat closure program (:mod:`.compiled`) and
+  executes that;
+* :func:`evaluate_reference` — the original recursive tree-walk, retained
+  as the executable specification the compiled backend is property-tested
+  against.
+"""
 
 from .evaluator import (  # noqa: F401
     EvalError,
     Value,
+    const_fold_node,
     evaluate,
+    evaluate_reference,
     evaluate_scalar,
     register_handler,
+)
+from .compiled import (  # noqa: F401
+    CompiledExpr,
+    clear_compile_cache,
+    compile_expr,
 )

@@ -12,6 +12,13 @@ through their Table 1 expansion so the definitional semantics is always the
 ground truth.  Target ISA instructions register their own handlers via
 :func:`register_handler`, which lets tests execute *lowered* programs and
 compare them lane-for-lane against the source expression.
+
+:func:`evaluate` is the public entry point; it is a thin wrapper over the
+compiled backend (:mod:`repro.interp.compiled`), which translates each
+hash-consed expression into a flat closure program exactly once.
+:func:`evaluate_reference` retains the original recursive tree-walk — it
+is the executable specification the compiled backend is property-tested
+against, and takes no shortcuts (compositional FPIR re-expands per call).
 """
 
 from __future__ import annotations
@@ -26,7 +33,9 @@ from ..ir.types import ScalarType
 __all__ = [
     "Value",
     "evaluate",
+    "evaluate_reference",
     "evaluate_scalar",
+    "const_fold_node",
     "register_handler",
     "EvalError",
 ]
@@ -36,6 +45,11 @@ Value = List[int]
 #: Extension point: node class -> fn(node, evaluated_children) -> Value.
 _HANDLERS: Dict[Type[E.Expr], Callable[..., Value]] = {}
 
+#: Callbacks run whenever a handler is (re)registered.  The compiled
+#: backend appends its cache invalidation here: handlers are resolved at
+#: compile time, so a registration must drop stale compiled programs.
+_INVALIDATE_HOOKS: List[Callable[[], None]] = []
+
 
 class EvalError(RuntimeError):
     """Raised when an expression cannot be evaluated."""
@@ -44,8 +58,14 @@ class EvalError(RuntimeError):
 def register_handler(
     cls: Type[E.Expr], fn: Callable[[E.Expr, Sequence[Value]], Value]
 ) -> None:
-    """Register an evaluator for a node class (used by target ISAs)."""
+    """Register an evaluator for a node class (used by target ISAs).
+
+    Invalidates the compiled-evaluation caches: compiled programs bind
+    handlers at compile time.
+    """
     _HANDLERS[cls] = fn
+    for hook in _INVALIDATE_HOOKS:
+        hook()
 
 
 # ----------------------------------------------------------------------
@@ -217,7 +237,7 @@ def _eval_via_expansion(
     if expansion is None:
         raise EvalError(f"no semantics for {type(node).__name__}")
     env = dict(zip(names, kids))
-    return evaluate(expansion, env, lanes=lanes)
+    return evaluate_reference(expansion, env, lanes=lanes)
 
 
 def evaluate(
@@ -228,6 +248,25 @@ def evaluate(
     Input lanes must already be in-range for their variables' types; the
     result is in-range for ``expr.type``.  Common subexpressions are
     evaluated once.
+
+    Thin wrapper over the compiled backend: the expression is translated
+    once (memoized globally on the hash-consed node) and executed as a
+    flat closure program.  Semantics are identical to
+    :func:`evaluate_reference`.
+    """
+    from .compiled import compile_expr  # late: avoids an import cycle
+
+    return compile_expr(expr)(env, lanes)
+
+
+def evaluate_reference(
+    expr: E.Expr, env: Mapping[str, Sequence[int]], lanes: int = None
+) -> Value:
+    """Reference tree-walking evaluator (the executable specification).
+
+    Kept deliberately naive — per-call dispatch and per-call Table 1
+    expansion — as the ground truth the compiled backend is
+    property-tested against.
     """
     if lanes is None:
         lanes = _infer_lanes(expr, env)
@@ -261,8 +300,29 @@ def evaluate_scalar(expr: E.Expr, env: Mapping[str, int]) -> int:
     return evaluate(expr, {k: [v] for k, v in env.items()}, lanes=1)[0]
 
 
+def const_fold_node(node: E.Expr, child_values: Sequence[int]) -> int:
+    """Fold one node whose children are known scalar constants.
+
+    Public constant-folding helper: evaluates a single node (not a tree)
+    given the scalar value of each child, with the interpreter's exact
+    semantics.  Used by the canonicalizer's constant folder.
+    """
+    return _eval_node(node, [[v] for v in child_values], lanes=1)[0]
+
+
 def _infer_lanes(expr: E.Expr, env: Mapping[str, Sequence[int]]) -> int:
+    has_var = False
     for node in expr.walk():
-        if isinstance(node, E.Var) and node.name in env:
-            return len(env[node.name])
+        if isinstance(node, E.Var):
+            if node.name in env:
+                return len(env[node.name])
+            has_var = True
+    if has_var:
+        # A non-constant expression none of whose variables are bound
+        # would otherwise "evaluate" at lanes=1 and fail (or, worse, an
+        # env for a *different* expression would silently be ignored).
+        raise EvalError(
+            "cannot infer lanes: expression shares no variables with "
+            "the environment"
+        )
     return 1

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-from ..interp.evaluator import _eval_node  # exact scalar semantics
+from ..interp import const_fold_node  # exact scalar semantics
 from ..ir import expr as E
 from ..ir.traversal import transform_bottom_up, transform_bottom_up_memo
 from ..passes import Pass, PassContext
@@ -37,7 +37,7 @@ def _fold(node: E.Expr) -> Optional[E.Expr]:
         return None
     if not all(isinstance(c, E.Const) for c in kids):
         return None
-    value = _eval_node(node, [[c.value] for c in kids], lanes=1)[0]
+    value = const_fold_node(node, [c.value for c in kids])
     return E.Const(node.type, value)
 
 

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..fpir import ops as F
-from ..interp import EvalError, evaluate
+from ..interp import EvalError, compile_expr
 from ..ir import expr as E
 from ..ir.expr import Const, Expr, Var, free_vars
 from ..ir.types import ScalarType
@@ -51,21 +51,44 @@ Signature = Tuple[int, ...]
 def _test_envs(
     variables: List[Var], n_tests: int, rng: random.Random
 ) -> Dict[str, List[int]]:
+    """Boundary-biased test vectors, deduplicated per variable.
+
+    Duplicate lanes waste signature bits (for unsigned types the old
+    boundary seed listed 0 twice); draw distinct values while the type's
+    domain allows, then cycle only when it is exhausted.
+    """
     env: Dict[str, List[int]] = {}
     for v in variables:
         t = v.type
-        picks = [t.min_value, t.max_value, 0, 1]
+        picks: List[int] = []
+        seen: set = set()
+        boundary = [t.min_value, t.max_value, 0, 1]
         if t.signed:
-            picks.append(-1)
-        while len(picks) < n_tests:
-            picks.append(rng.randint(t.min_value, t.max_value))
-        env[v.name] = [t.wrap(p) for p in picks[:n_tests]]
+            boundary.append(-1)
+        for p in boundary:
+            p = t.wrap(p)
+            if p not in seen:
+                seen.add(p)
+                picks.append(p)
+        attempts = 0
+        while len(picks) < n_tests and attempts < 16 * n_tests:
+            p = rng.randint(t.min_value, t.max_value)
+            attempts += 1
+            if p not in seen:
+                seen.add(p)
+                picks.append(p)
+        while len(picks) < n_tests:  # tiny domain: repeat cyclically
+            picks.append(picks[len(picks) % len(seen)])
+        env[v.name] = picks[:n_tests]
     return env
 
 
 def _signature(expr: Expr, env, n_tests: int) -> Optional[Signature]:
+    # Fingerprinting goes through the compiled backend directly: the
+    # candidate pools share subtrees heavily, and each hash-consed node
+    # compiles exactly once across the whole enumeration.
     try:
-        return tuple(evaluate(expr, env, lanes=n_tests))
+        return tuple(compile_expr(expr)(env, n_tests))
     except (EvalError, E.TypeError_, ValueError):
         return None
 

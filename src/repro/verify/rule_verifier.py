@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..analysis import BoundsAnalyzer, BoundsContext, Interval
-from ..interp import EvalError, evaluate
+from ..interp import EvalError, compile_expr
 from ..ir.expr import Const, Expr, Var
 from ..ir.types import ARITH_TYPES, ScalarType
 from ..trs.matcher import Match, instantiate
@@ -131,6 +131,23 @@ def _resolvable(tp, tenv) -> Optional[ScalarType]:
 # ----------------------------------------------------------------------
 # Sampling
 # ----------------------------------------------------------------------
+def _random_top_up(
+    vals: set, lo: int, hi: int, n: int, rng: random.Random
+) -> None:
+    """Add ``n`` random samples in [lo, hi] that are *new* to ``vals``.
+
+    A plain ``rng.randint`` loop silently collides with the boundary
+    values already present (especially for 8-bit types), shrinking the
+    sample set and duplicating tuples downstream; draw fresh values with
+    a bounded number of attempts instead.
+    """
+    target = len(vals) + min(n, hi - lo + 1 - len(vals))
+    attempts = 0
+    while len(vals) < target and attempts < 16 * n:
+        vals.add(rng.randint(lo, hi))
+        attempts += 1
+
+
 def _value_samples(
     t: ScalarType, rng: random.Random, n_random: int, bounds: Interval
 ) -> List[int]:
@@ -145,8 +162,7 @@ def _value_samples(
         max(lo, min(hi, v))
         for v in (lo + 1, hi - 1, hi // 2)
     )
-    for _ in range(n_random):
-        picks.add(rng.randint(lo, hi))
+    _random_top_up(picks, lo, hi, n_random, rng)
     return sorted(picks)
 
 
@@ -162,8 +178,9 @@ def _const_samples(t: ScalarType, rng: random.Random) -> List[int]:
         for b in (u.min_value, u.max_value):
             if t.contains(b):
                 vals.add(b)
-    vals.update(rng.randint(t.min_value, t.max_value) for _ in range(4))
-    return sorted(v for v in vals if t.contains(v))
+    vals = {v for v in vals if t.contains(v)}
+    _random_top_up(vals, t.min_value, t.max_value, 4, rng)
+    return sorted(vals)
 
 
 # ----------------------------------------------------------------------
@@ -183,6 +200,11 @@ def verify_equivalence(
     Returns None if no disagreement is found, else a counterexample dict.
     The two sides must have equal types unless ``bit_exact_type`` is False
     (then equal widths and equal wrapped bit patterns are accepted).
+
+    The entire cross product of sample tuples is packed into lanes and
+    each side is evaluated with **one** call to its compiled program; a
+    mismatching lane index maps back to the offending tuple for the
+    counterexample report.
     """
     rng = rng if rng is not None else random.Random(0)
     var_bounds = var_bounds or {}
@@ -212,22 +234,28 @@ def verify_equivalence(
         sample_sets[largest] = sample_sets[largest][::2]
 
     names = [v.name for v in variables]
-    grids = itertools.product(*sample_sets) if variables else [()]
-    for point in grids:
-        env = {n: [v] for n, v in zip(names, point)}
-        try:
-            lv = evaluate(lhs, env, lanes=1)[0]
-            rv = evaluate(rhs, env, lanes=1)[0]
-        except EvalError as exc:
-            return {"reason": f"evaluation error: {exc}", "env": dict(zip(names, point))}
-        if tl != tr:
-            rv = tl.wrap(rv & tl.mask)
-        if lv != rv:
-            return {
-                "env": dict(zip(names, point)),
-                "lhs": lv,
-                "rhs": rv,
-            }
+    grid = list(itertools.product(*sample_sets)) if variables else [()]
+    lanes = len(grid)
+    env = {
+        name: [point[i] for point in grid]
+        for i, name in enumerate(names)
+    }
+    try:
+        lv = compile_expr(lhs)(env, lanes)
+        rv = compile_expr(rhs)(env, lanes)
+    except EvalError as exc:
+        return {"reason": f"evaluation error: {exc}"}
+    if tl != tr:
+        mask = tl.mask
+        rv = [tl.wrap(v & mask) for v in rv]
+    if lv != rv:
+        for i, (a, b) in enumerate(zip(lv, rv)):
+            if a != b:
+                return {
+                    "env": dict(zip(names, grid[i])),
+                    "lhs": a,
+                    "rhs": b,
+                }
     return None
 
 

@@ -1,0 +1,211 @@
+"""Differential testing of the compiled evaluation backend.
+
+The compiled backend (:mod:`repro.interp.compiled`) must be lane-exactly
+identical to the retained reference tree-walker
+(:func:`repro.interp.evaluate_reference`) on every well-typed IR/FPIR
+expression — including after a :func:`register_handler` call, which must
+invalidate the compile caches.
+"""
+
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro import fpir as F
+from repro.interp import (
+    EvalError,
+    clear_compile_cache,
+    compile_expr,
+    evaluate,
+    evaluate_reference,
+)
+from repro.interp import evaluator as _ev
+from repro.ir import builders as h
+from repro.ir import expr as E
+from repro.ir.types import I8, I16, U8, U16, I32, U32, ScalarType
+
+# ----------------------------------------------------------------------
+# Random well-typed expression generation
+# ----------------------------------------------------------------------
+#: leaf variable pool: two vars per type so binary ops can mix operands
+_TYPES = (U8, I8, U16, I16, U32, I32)
+_VARS = {t: (h.var(f"a{t}", t), h.var(f"b{t}", t)) for t in _TYPES}
+
+_SAME_TYPE_BINARY = (
+    E.Add, E.Sub, E.Mul, E.Div, E.Mod, E.Min, E.Max,
+    E.BitAnd, E.BitOr, E.BitXor,
+)
+_SHIFTY = (E.Shl, E.Shr)
+_FPIR_SAME = (
+    F.WideningAdd, F.WideningSub, F.WideningMul,
+    F.SaturatingAdd, F.SaturatingSub, F.Absd,
+    F.HalvingAdd, F.HalvingSub, F.RoundingHalvingAdd,
+)
+_FPIR_SHIFT = (
+    F.WideningShl, F.WideningShr, F.RoundingShl, F.RoundingShr,
+    F.SaturatingShl,
+)
+
+
+@st.composite
+def exprs(draw, t: ScalarType = None, depth: int = 3):
+    """A random well-typed expression of element type ``t``."""
+    if t is None:
+        t = draw(st.sampled_from(_TYPES))
+    if depth <= 0 or draw(st.integers(0, 4)) == 0:
+        if draw(st.booleans()):
+            return draw(st.sampled_from(_VARS[t]))
+        return h.const(t, draw(st.integers(t.min_value, t.max_value)))
+
+    kind = draw(st.integers(0, 8))
+    if kind == 0:  # cast from any other type
+        src = draw(st.sampled_from(_TYPES))
+        return E.Cast(t, draw(exprs(t=src, depth=depth - 1)))
+    if kind == 1:  # reinterpret from the opposite signedness
+        src = t.with_signed(not t.signed)
+        return E.Reinterpret(t, draw(exprs(t=src, depth=depth - 1)))
+    if kind == 2:
+        return E.Neg(draw(exprs(t=t, depth=depth - 1)))
+    if kind == 3:  # select on a comparison
+        ct = draw(st.sampled_from(_TYPES))
+        cond = draw(st.sampled_from((E.LT, E.LE, E.GT, E.GE, E.EQ, E.NE)))(
+            draw(exprs(t=ct, depth=depth - 2)),
+            draw(exprs(t=ct, depth=depth - 2)),
+        )
+        return E.Select(
+            cond,
+            draw(exprs(t=t, depth=depth - 1)),
+            draw(exprs(t=t, depth=depth - 1)),
+        )
+    if kind == 4 and t.can_widen():  # widening FPIR: result is widen(t)...
+        # ...so produce it at type t via an explicit narrowing cast
+        cls = draw(st.sampled_from(_FPIR_SAME))
+        a = draw(exprs(t=t, depth=depth - 1))
+        b = draw(exprs(t=t, depth=depth - 1))
+        try:
+            inner = cls(a, b)
+        except E.TypeError_:
+            return draw(exprs(t=t, depth=depth - 1))
+        if inner.type == t:
+            return inner
+        return E.Cast(t, inner)
+    if kind == 5 and t.can_widen():  # shift-class FPIR by a small constant
+        cls = draw(st.sampled_from(_FPIR_SHIFT))
+        a = draw(exprs(t=t, depth=depth - 1))
+        amt = h.const(
+            t.with_signed(True), draw(st.integers(-(t.bits - 1), t.bits - 1))
+        )
+        try:
+            inner = cls(a, amt)
+        except E.TypeError_:
+            return draw(exprs(t=t, depth=depth - 1))
+        return inner if inner.type == t else E.Cast(t, inner)
+    if kind == 6 and t.can_widen():  # fused multiply-shift
+        cls = draw(st.sampled_from((F.MulShr, F.RoundingMulShr)))
+        a = draw(exprs(t=t, depth=depth - 1))
+        b = draw(exprs(t=t, depth=depth - 1))
+        shift = h.const(t, draw(st.integers(0, t.bits - 1)))
+        try:
+            inner = cls(a, b, shift)
+        except E.TypeError_:
+            return draw(exprs(t=t, depth=depth - 1))
+        return inner if inner.type == t else E.Cast(t, inner)
+    if kind == 7:
+        a = draw(exprs(t=t, depth=depth - 1))
+        inner = F.Abs(a)
+        return inner if inner.type == t else E.Reinterpret(t, inner)
+    if kind == 8:
+        cls = draw(st.sampled_from(_SHIFTY))
+        return cls(
+            draw(exprs(t=t, depth=depth - 1)),
+            draw(exprs(t=t, depth=depth - 1)),
+        )
+    cls = draw(st.sampled_from(_SAME_TYPE_BINARY))
+    return cls(
+        draw(exprs(t=t, depth=depth - 1)),
+        draw(exprs(t=t, depth=depth - 1)),
+    )
+
+
+def _env_for(expr: E.Expr, data, lanes: int):
+    env = {}
+    for node in expr.walk():
+        if isinstance(node, E.Var) and node.name not in env:
+            t = node.type
+            env[node.name] = [
+                data.draw(st.integers(t.min_value, t.max_value))
+                for _ in range(lanes)
+            ]
+    return env
+
+
+@settings(max_examples=150, deadline=None)
+@given(e=exprs(), data=st.data(), lanes=st.integers(1, 4))
+def test_compiled_matches_reference(e, data, lanes):
+    env = _env_for(e, data, lanes)
+    ref = evaluate_reference(e, env, lanes=lanes)
+    got = compile_expr(e)(env, lanes)
+    assert got == ref
+    assert evaluate(e, env, lanes=lanes) == ref
+
+
+class TestHandlerInvalidation:
+    def test_register_handler_invalidates_compiled_programs(self):
+        x = h.var("x", U8)
+        e = E.Add(x, h.const(U8, 1))
+        assert evaluate(e, {"x": [1, 2]}) == [2, 3]  # compiled + cached
+        try:
+            _ev.register_handler(
+                E.Add, lambda node, kids: [99] * len(kids[0])
+            )
+            # the stale compiled program must not survive registration
+            assert evaluate(e, {"x": [1, 2]}) == [99, 99]
+            assert evaluate_reference(e, {"x": [1, 2]}) == [99, 99]
+        finally:
+            _ev._HANDLERS.pop(E.Add, None)
+            clear_compile_cache()
+        assert evaluate(e, {"x": [1, 2]}) == [2, 3]
+
+
+class TestCompiledSemanticsCorners:
+    def test_shared_subtrees_share_registers(self):
+        x = h.var("x", U8)
+        shared = E.Mul(x, x)
+        e = E.Add(shared, shared)
+        fn = compile_expr(e)
+        # x, x*x, (x*x)+(x*x): three distinct nodes -> three registers
+        assert fn._n_regs == 3
+        assert fn({"x": [3]}, 1) == [18]
+
+    def test_compile_is_memoized_on_the_interned_node(self):
+        x = h.var("x", U16)
+        assert compile_expr(x + 1) is compile_expr(x + 1)
+
+    def test_unbound_variable_raises(self):
+        x = h.var("x", U8)
+        with pytest.raises(EvalError):
+            compile_expr(x)({}, 1)
+
+    def test_lane_mismatch_raises(self):
+        x, y = h.var("x", U8), h.var("y", U8)
+        with pytest.raises(EvalError):
+            compile_expr(x + y)({"x": [1, 2], "y": [1]}, 2)
+
+    def test_disjoint_env_lane_inference_raises(self):
+        # An env sharing no variables with a non-constant expression is
+        # a caller bug; the old walker silently inferred lanes=1.
+        x = h.var("x", U8)
+        with pytest.raises(EvalError):
+            evaluate(x + 1, {"unrelated": [1, 2, 3]})
+        with pytest.raises(EvalError):
+            evaluate_reference(x + 1, {"unrelated": [1, 2, 3]})
+
+    def test_constant_expr_with_empty_env(self):
+        e = h.const(U8, 7) + 1
+        assert evaluate(e, {}) == [8]
+
+    def test_compositional_fpir_expansion_inlined(self):
+        x, y = h.var("x", I16), h.var("y", I16)
+        e = F.RoundingMulShr(x, y, h.const(I16, 4))
+        env = {"x": [1000, -32768, 77], "y": [2000, 32767, -3], }
+        assert compile_expr(e)(env, 3) == evaluate_reference(e, env, lanes=3)
