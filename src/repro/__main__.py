@@ -5,12 +5,15 @@ Commands
 compile     compile a benchmark (or the Figure 3 cases) and show the
             selected instructions for one or all targets; ``--trace``
             writes a Chrome-trace JSON, ``--explain`` annotates every
-            instruction with the rule chain that produced it
+            instruction with the rule chain that produced it,
+            ``--verify-each`` validates the IR after every pass
 evaluate    regenerate a paper figure's data table (fig3/fig5/fig6/fig7)
 workloads   list the benchmark suite
 rules       list/verify the rule sets
 coverage    compile the suite with rule telemetry; report per-rule fire
             counts and flag dead rules (synthesis-feedback candidates)
+lint        statically lint every rulebase (stable L1xx diagnostic
+            codes; errors fail, warnings ratchet against a baseline)
 synthesize  run the §4 offline pipeline over chosen benchmarks
 """
 
@@ -20,6 +23,7 @@ import argparse
 import sys
 
 from . import targets as T
+from .passes import PassVerificationError
 from .pipeline import (
     LLVMCompileError,
     llvm_compile,
@@ -72,9 +76,15 @@ def cmd_compile(args) -> int:
                 if tracer is not None
                 else Observation.quiet()
             )
-        pf = pitchfork_compile(
-            wl.expr, target, var_bounds=wl.var_bounds, trace=obs
-        )
+        try:
+            pf = pitchfork_compile(
+                wl.expr, target, var_bounds=wl.var_bounds, trace=obs,
+                verify_each=args.verify_each,
+            )
+        except PassVerificationError as exc:
+            print(f"VERIFY-EACH FAILED on {target.name}: {exc}",
+                  file=sys.stderr)
+            return 1
         if args.show_fpir:
             print(f"-- lifted FPIR:\n{pf.lifted}")
         print(f"-- PITCHFORK ({pf.cost().total:.1f} modelled cycles/vec):")
@@ -175,17 +185,29 @@ def cmd_rules(args) -> int:
         from .verify import verify_rule
 
         failures = 0
-        for label, rules in sets[:2]:  # lifting rules have full semantics
+        checked = 0
+        # Only lifting rules have full executable semantics on both
+        # sides (lowering RHS are target ops); say so rather than
+        # silently skipping.
+        for label, rules in sets[:2]:
+            print(f"-- verifying {label}")
             for r in rules:
                 report = verify_rule(
                     r, max_type_combos=6, max_const_samples=4,
                     max_points=400,
                 )
+                checked += 1
+                verdict = "ok  " if report.ok else "FAIL"
+                print(f"{verdict} {r.name:<44} [{r.source}]")
                 if not report.ok:
                     failures += 1
-                    print(f"FAIL {r.name}: {report.counterexample}")
-        print("verification:", "all lifting rules OK" if not failures
-              else f"{failures} failures")
+                    print(f"     counterexample: {report.counterexample}")
+        print(f"(lowering rule sets are not sample-verified: their "
+              f"right-hand sides are target instructions; "
+              f"see 'python -m repro lint' for the static checks)")
+        print(f"verification: {checked} rules checked, "
+              + ("all OK" if not failures
+                 else f"{failures} FAILED"))
         return 1 if failures else 0
     return 0
 
@@ -228,6 +250,47 @@ def cmd_coverage(args) -> int:
             return 1
         return 0
     return 1 if dead_hand else 0
+
+
+def cmd_lint(args) -> int:
+    from .lint import lint_all_rulebases
+
+    fires = None
+    if args.coverage:
+        # Cross-check L105 shadowing claims against reality: a rule that
+        # fires in the suite sweep is demonstrably not shadowed.
+        from .evaluation.coverage import run_coverage
+
+        cov = run_coverage(targets=_target_list("all"))
+        fires = {r.name: r.fires for r in cov.rows}
+    report = lint_all_rulebases(coverage_fires=fires)
+
+    if args.format == "json":
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.format_text())
+
+    if report.errors:
+        return 1
+    warning_keys = {d.key for d in report.warnings}
+    if args.baseline:
+        # Ratchet mode (CI): fail only on warnings NOT already recorded
+        # as known issues; report stale entries so the file shrinks.
+        allowed = _read_baseline(args.baseline)
+        stale = sorted(allowed - warning_keys)
+        if stale:
+            print("baseline entries no longer fire (trim the baseline):")
+            for key in stale:
+                print(f"   {key}")
+        new = sorted(warning_keys - allowed)
+        if new:
+            print(f"new lint warnings (not in {args.baseline}):")
+            for key in new:
+                print(f"   {key}")
+            return 1
+    return 0
 
 
 def cmd_synthesize(args) -> int:
@@ -286,6 +349,10 @@ def main(argv=None) -> int:
     p.add_argument("--explain", action="store_true",
                    help="annotate each instruction with the lift/lower "
                         "rule chain that produced it")
+    p.add_argument("--verify-each", action="store_true",
+                   help="validate IR well-formedness after every pass; "
+                        "a violation names the offending pass and "
+                        "exits non-zero")
     p.set_defaults(fn=cmd_compile)
 
     p = sub.add_parser("evaluate", help="regenerate a paper figure")
@@ -319,6 +386,21 @@ def main(argv=None) -> int:
                         "non-zero only for dead hand-written rules NOT "
                         "in this file (CI ratchet)")
     p.set_defaults(fn=cmd_coverage)
+
+    p = sub.add_parser(
+        "lint",
+        help="statically lint every rulebase (stable diagnostic codes)",
+    )
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--baseline", metavar="FILE",
+                   help="known lint warnings (one diagnostic key per "
+                        "line); exit non-zero for warnings NOT in this "
+                        "file (CI ratchet); errors always fail")
+    p.add_argument("--coverage", action="store_true",
+                   help="run the coverage sweep and drop shadowing "
+                        "(L105) findings for rules that demonstrably "
+                        "fire")
+    p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("synthesize", help="run the §4 offline pipeline")
     # Names are validated in cmd_synthesize (an empty list must be legal

@@ -1,0 +1,29 @@
+"""Static analysis: IR well-formedness verification + rulebase linting.
+
+Two halves, both reporting through stable diagnostic codes
+(:mod:`repro.lint.diagnostics`, mirrored in DESIGN.md):
+
+* :func:`verify_expr` / :func:`assert_well_formed` — a single-walk
+  type/structure checker over concrete IR/FPIR trees.  Wired into the
+  pipeline as ``PassManager(verify_each=True)`` (CLI ``--verify-each``),
+  which re-verifies the tree after every pass and names the pass that
+  broke it.
+* :func:`lint_rules` / :func:`lint_all_rulebases` — static diagnostics
+  over ``trs.Rule`` lists, shipped as ``python -m repro lint``.
+"""
+
+from .diagnostics import CODES, Diagnostic
+from .rulelint import LintReport, lint_all_rulebases, lint_rules, rulebases
+from .verifier import WellFormednessError, assert_well_formed, verify_expr
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "LintReport",
+    "WellFormednessError",
+    "assert_well_formed",
+    "lint_all_rulebases",
+    "lint_rules",
+    "rulebases",
+    "verify_expr",
+]

@@ -1,0 +1,108 @@
+"""Diagnostic codes and records for the static-analysis subsystem.
+
+Every check in :mod:`repro.lint` reports through a :class:`Diagnostic`
+carrying a *stable* code (``L001``...).  Codes are append-only: tools,
+baselines and CI greps key on them, so a check may be retired but its code
+is never reused.  The full table with one-line explanations is mirrored in
+``DESIGN.md`` ("Static analysis").
+
+Two code ranges:
+
+* ``L0xx`` — IR/FPIR *well-formedness* violations found by
+  :func:`repro.lint.verifier.verify_expr` on concrete expression trees
+  (what ``--verify-each`` runs after every pass);
+* ``L1xx`` — *rulebase* diagnostics found by
+  :func:`repro.lint.rulelint.lint_rules` on ``trs.Rule`` lists.
+
+Severity is per-code: ``error`` diagnostics are always fatal for the lint
+exit code; ``warning`` diagnostics are ratcheted via a baseline file (see
+``python -m repro lint --baseline``), mirroring the coverage gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+__all__ = ["Diagnostic", "CODES", "severity_of"]
+
+#: code -> (severity, one-line explanation).  Append-only.
+CODES: Dict[str, tuple] = {
+    # -- IR/FPIR well-formedness (verify_expr) -------------------------
+    "L001": ("error", "operand type/width mismatch on a binary operation"),
+    "L002": ("error", "bool operand where an arithmetic type is required "
+                      "(or a non-bool where bool is required)"),
+    "L003": ("error", "illegal conversion: Cast to bool, or Reinterpret "
+                      "between different widths"),
+    "L004": ("error", "FPIR Table 1 signature violation (operand typing, "
+                      "widenability or narrowability)"),
+    "L005": ("error", "Select invariant violation: non-bool condition or "
+                      "mismatched branch types"),
+    "L006": ("error", "pattern node or symbolic type inside a concrete "
+                      "tree (a wildcard leaked through instantiation)"),
+    "L007": ("error", "constant value not representable in its type"),
+    # -- rulebase lint (lint_rules) ------------------------------------
+    "L101": ("error", "RHS wildcard never bound by the LHS pattern "
+                      "(instantiation would raise KeyError)"),
+    "L102": ("error", "RHS type variable not bound by matching the LHS"),
+    "L103": ("error", "unsatisfiable type constraints: no concrete type "
+                      "assignment resolves every type pattern"),
+    "L104": ("error", "computed (callable) PConst on the LHS: the matcher "
+                      "can never match it"),
+    "L105": ("warning", "rule shadowed by an earlier, unpredicated, "
+                        "strictly-more-general rule in the same root "
+                        "bucket"),
+    "L106": ("warning", "RHS never costs less than LHS under trs.costs: "
+                        "the cost-gated (lifting) engine can never apply "
+                        "the rule"),
+    "L107": ("error", "interval analysis proves LHS and RHS value ranges "
+                      "disjoint: the rule cannot be semantics-preserving"),
+    "L108": ("error", "rule predicate reaches outside the RuleContext "
+                      "API (private attributes or the bounds analyzer "
+                      "internals)"),
+    "L109": ("warning", "duplicate rule name within one rulebase"),
+}
+
+
+def severity_of(code: str) -> str:
+    """``"error"`` or ``"warning"`` for a diagnostic code."""
+    return CODES[code][0]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a stable code plus where and why.
+
+    ``subject`` names what the diagnostic is about — a rule name for
+    rulebase lints, a node rendering for well-formedness checks.
+    ``ruleset`` is the rulebase label (``"lifting (hand)"``,
+    ``"lowering (x86-avx2)"``) or ``""`` for expression checks.
+    """
+
+    code: str
+    subject: str
+    message: str
+    ruleset: str = ""
+
+    @property
+    def severity(self) -> str:
+        return severity_of(self.code)
+
+    @property
+    def key(self) -> str:
+        """Stable identity used by the baseline ratchet."""
+        where = f"{self.ruleset}:{self.subject}" if self.ruleset else self.subject
+        return f"{self.code} {where}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "ruleset": self.ruleset,
+            "subject": self.subject,
+            "message": self.message,
+        }
+
+    def __str__(self) -> str:
+        where = f"{self.ruleset}: " if self.ruleset else ""
+        return f"{self.code} [{self.severity}] {where}{self.subject}: {self.message}"

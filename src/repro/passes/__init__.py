@@ -19,6 +19,7 @@ from .manager import (
     PassContext,
     PassManager,
     PassStats,
+    PassVerificationError,
 )
 
 __all__ = [
@@ -27,4 +28,5 @@ __all__ = [
     "PassManager",
     "PassStats",
     "CompileStats",
+    "PassVerificationError",
 ]

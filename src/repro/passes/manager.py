@@ -26,7 +26,28 @@ __all__ = [
     "PassManager",
     "PassStats",
     "CompileStats",
+    "PassVerificationError",
 ]
+
+
+class PassVerificationError(Exception):
+    """A pass produced an ill-formed tree (``verify_each`` mode).
+
+    Carries the name of the offending pass and the well-formedness
+    diagnostics (:class:`repro.lint.Diagnostic`) found in its output, so
+    a miscompile is localized to the pass boundary where it happened
+    instead of surfacing as a wrong golden output three passes later.
+    """
+
+    def __init__(self, pass_name: str, diagnostics):
+        self.pass_name = pass_name
+        self.diagnostics = list(diagnostics)
+        lines = "\n  ".join(str(d) for d in self.diagnostics)
+        super().__init__(
+            f"pass '{pass_name}' broke IR well-formedness "
+            f"({len(self.diagnostics)} violation"
+            f"{'s' if len(self.diagnostics) != 1 else ''}):\n  {lines}"
+        )
 
 
 class Pass:
@@ -136,10 +157,29 @@ class CompileStats:
 
 
 class PassManager:
-    """Runs an ordered pass list, timing and instrumenting each pass."""
+    """Runs an ordered pass list, timing and instrumenting each pass.
 
-    def __init__(self, passes: Sequence[Pass]):
+    ``verify_each`` opts into LLVM-``-verify-each``-style validation: the
+    input tree and every pass's output are re-checked by the IR
+    well-formedness verifier (:func:`repro.lint.verify_expr`), and a
+    violation raises :class:`PassVerificationError` naming the pass that
+    introduced it.  Off by default — the disabled path costs one ``if``
+    per pass.
+    """
+
+    def __init__(self, passes: Sequence[Pass], verify_each: bool = False):
         self.passes: List[Pass] = list(passes)
+        self.verify_each = verify_each
+        if verify_each:
+            # Bind once; repro.lint only imports ir/fpir (no cycle).
+            from ..lint import verify_expr
+
+            self._verify = verify_expr
+
+    def _check(self, expr, where: str) -> None:
+        diagnostics = self._verify(expr)
+        if diagnostics:
+            raise PassVerificationError(where, diagnostics)
 
     def run(
         self, expr, ctx: Optional[PassContext] = None
@@ -154,6 +194,11 @@ class PassManager:
         """
         ctx = ctx if ctx is not None else PassContext()
         obs = ctx.observe
+        verify = self.verify_each
+        if verify:
+            # A pre-broken input is the caller's bug, not the first
+            # pass's; check it separately so blame lands correctly.
+            self._check(expr, "<input>")
         stats: List[PassStats] = []
         t_start = time.perf_counter()
         for p in self.passes:
@@ -175,6 +220,8 @@ class PassManager:
                 obs.metrics.histogram(
                     "pass_seconds", stage=p.name
                 ).observe(seconds)
+            if verify:
+                self._check(expr, p.name)
             stats.append(
                 PassStats(
                     name=p.name,

@@ -135,6 +135,7 @@ class PitchforkCompiler:
         target: Target,
         use_synthesized: bool = True,
         exclude_sources: Iterable[str] = (),
+        verify_each: bool = False,
     ):
         self.target = target
         self.lifter = Lifter(
@@ -152,7 +153,10 @@ class PitchforkCompiler:
                 LiftPass(self.lifter),
                 LowerPass(self.lowerer),
                 BackendPass(),  # shared downstream LLVM work (§5.2)
-            ]
+            ],
+            # -verify-each mode: re-check IR well-formedness after every
+            # pass (raises PassVerificationError naming the bad pass).
+            verify_each=verify_each,
         )
 
     def compile(
@@ -206,6 +210,7 @@ def pitchfork_compile(
     use_synthesized: bool = True,
     exclude_sources: Iterable[str] = (),
     trace: Optional[Observation] = None,
+    verify_each: bool = False,
 ) -> CompiledProgram:
     """One-shot PITCHFORK compilation.
 
@@ -214,15 +219,22 @@ def pitchfork_compile(
     state (bounds caches) is still fresh for every call.
 
     ``trace`` opts one compile into observability (spans, rule telemetry,
-    provenance) — see :meth:`PitchforkCompiler.compile`.
+    provenance) — see :meth:`PitchforkCompiler.compile`.  ``verify_each``
+    re-checks IR well-formedness after every pass and raises
+    :class:`~repro.passes.PassVerificationError` naming the pass that
+    broke the tree.
     """
-    key = (target.name, use_synthesized, frozenset(exclude_sources))
+    key = (
+        target.name, use_synthesized, frozenset(exclude_sources),
+        verify_each,
+    )
     compiler = _COMPILER_CACHE.get(key)
     if compiler is None:
         compiler = PitchforkCompiler(
             target,
             use_synthesized=use_synthesized,
             exclude_sources=exclude_sources,
+            verify_each=verify_each,
         )
         _COMPILER_CACHE[key] = compiler
     return compiler.compile(expr, var_bounds, trace=trace)

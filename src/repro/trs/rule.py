@@ -24,6 +24,22 @@ class RuleContext:
     context backed by interval analysis (:mod:`repro.analysis`).  Keeping
     the interface tiny (two bounds queries) mirrors the paper: "the most
     powerful [predicates] that PITCHFORK offers are bounds-related queries".
+
+    **Contract — every query is conservative.**  Each method may only
+    return True when the fact is *provable* from what the context knows;
+    when a fact is unprovable (or the context has no analysis at all, as
+    here) it must return False, and it must never raise.  Rules guarded
+    by these predicates are applied without further checks, so a
+    non-conservative context turns directly into miscompiles.
+
+    Predicates must restrict themselves to this API plus the public
+    fields of their :class:`~repro.trs.matcher.Match` argument (``env``,
+    ``tenv``, ``consts``, ``root``).  Reaching into implementation
+    details — private attributes, or the backing ``analyzer`` of
+    :class:`~repro.analysis.BoundsContext` — couples the rule to one
+    context implementation and bypasses the conservative interface;
+    the rulebase linter rejects it (diagnostic L108, see
+    ``python -m repro lint``).
     """
 
     def upper_bounded(self, expr: Expr, bound: int) -> bool:

@@ -1,0 +1,70 @@
+"""Differential property: interval analysis vs the compiled evaluator.
+
+The whole static-analysis stack (predicated rules, the L107 lint, the
+restricted-hint soundness argument) rests on one invariant: for any
+well-typed expression, :class:`BoundsAnalyzer` returns an interval that
+contains every value the expression can actually take.  Check it
+directly against the compiled evaluator on random expressions — both
+with no hints (full type ranges) and with per-variable hint intervals
+that the drawn environments respect.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.analysis.intervals import BoundsAnalyzer, Interval
+from repro.interp.compiled import compile_expr
+from repro.ir import expr as E
+
+from tests.interp.test_compiled import _env_for, exprs
+
+
+@settings(max_examples=200, deadline=None)
+@given(e=exprs(), data=st.data(), lanes=st.integers(1, 4))
+def test_unhinted_bounds_contain_compiled_values(e, data, lanes):
+    env = _env_for(e, data, lanes)
+    values = compile_expr(e)(env, lanes)
+    box = BoundsAnalyzer().bounds(e)
+    for v in values:
+        assert box.lo <= v <= box.hi, (
+            f"{e} evaluated to {v} outside [{box.lo}, {box.hi}] "
+            f"with env {env}"
+        )
+
+
+def _hinted_env_for(expr, data, lanes):
+    """Draw (env, hints) where every lane value honors its hint."""
+    env, hints = {}, {}
+    for node in expr.walk():
+        if isinstance(node, E.Var) and node.name not in env:
+            t = node.type
+            lo = data.draw(st.integers(t.min_value, t.max_value))
+            hi = data.draw(st.integers(lo, t.max_value))
+            hints[node.name] = Interval(lo, hi)
+            env[node.name] = [
+                data.draw(st.integers(lo, hi)) for _ in range(lanes)
+            ]
+    return env, hints
+
+
+@settings(max_examples=200, deadline=None)
+@given(e=exprs(), data=st.data(), lanes=st.integers(1, 4))
+def test_hinted_bounds_contain_compiled_values(e, data, lanes):
+    env, hints = _hinted_env_for(e, data, lanes)
+    values = compile_expr(e)(env, lanes)
+    box = BoundsAnalyzer(hints).bounds(e)
+    for v in values:
+        assert box.lo <= v <= box.hi, (
+            f"{e} evaluated to {v} outside [{box.lo}, {box.hi}] "
+            f"with env {env}, hints {hints}"
+        )
+
+
+@settings(max_examples=100, deadline=None)
+@given(e=exprs(), data=st.data())
+def test_hints_never_widen_the_unhinted_box(e, data):
+    # Extra information can only tighten a sound analysis.
+    _env, hints = _hinted_env_for(e, data, 1)
+    base = BoundsAnalyzer().bounds(e)
+    hinted = BoundsAnalyzer(hints).bounds(e)
+    assert base.lo <= hinted.lo <= hinted.hi <= base.hi

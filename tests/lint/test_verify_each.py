@@ -1,0 +1,72 @@
+"""``verify_each`` pass validation: the full paper matrix compiles with
+zero violations, and a deliberately-broken pass is caught *and named*."""
+
+import pytest
+
+from repro.ir import builders as h
+from repro.ir import expr as E
+from repro.ir.types import U8, U16
+from repro.passes import Pass, PassManager, PassVerificationError
+from repro.pipeline import pitchfork_compile
+from repro.targets import PAPER_TARGETS
+from repro.workloads import all_workloads
+
+
+class TestPaperMatrixVerifies:
+    @pytest.mark.parametrize("target_name", PAPER_TARGETS)
+    def test_all_workloads_verify_on(self, target_name):
+        # Acceptance criterion: 16 workloads x 3 paper targets, zero
+        # well-formedness violations at every pass boundary.
+        for wl in all_workloads():
+            prog = pitchfork_compile(
+                wl.expr, target_name, verify_each=True
+            )
+            assert prog is not None, wl.name
+
+
+class _CorruptingPass(Pass):
+    """Rebuilds the tree with one ill-typed node, bypassing validation —
+    the exact bug class verify_each exists to localize."""
+
+    name = "corrupt"
+
+    def run(self, expr, ctx):
+        bad = E.Add.__new__(E.Add)
+        object.__setattr__(bad, "a", h.var("x", U8))
+        object.__setattr__(bad, "b", h.var("w", U16))
+        return bad
+
+
+class _IdentityPass(Pass):
+    name = "identity"
+
+    def run(self, expr, ctx):
+        return expr
+
+
+class TestBrokenPassIsNamed:
+    def test_corrupting_pass_blamed(self):
+        pm = PassManager(
+            [_IdentityPass(), _CorruptingPass(), _IdentityPass()],
+            verify_each=True,
+        )
+        with pytest.raises(PassVerificationError) as exc:
+            pm.run(h.var("x", U8) + 1)
+        assert exc.value.pass_name == "corrupt"
+        assert any(d.code == "L001" for d in exc.value.diagnostics)
+        assert "corrupt" in str(exc.value)
+
+    def test_pre_broken_input_blamed_on_caller(self):
+        bad = E.Add.__new__(E.Add)
+        object.__setattr__(bad, "a", h.var("x", U8))
+        object.__setattr__(bad, "b", h.var("w", U16))
+        pm = PassManager([_IdentityPass()], verify_each=True)
+        with pytest.raises(PassVerificationError) as exc:
+            pm.run(bad)
+        assert exc.value.pass_name == "<input>"
+
+    def test_disabled_by_default(self):
+        pm = PassManager([_CorruptingPass()])
+        out, _stats = pm.run(h.var("x", U8) + 1)
+        # No verification: the corrupt tree flows through silently.
+        assert isinstance(out, E.Add)
