@@ -23,6 +23,7 @@ paper-figure reproductions.
 __version__ = "1.0.0"
 
 from . import analysis  # noqa: F401
+from . import fabric  # noqa: F401
 from . import fpir  # noqa: F401
 from . import interp  # noqa: F401
 from . import ir  # noqa: F401

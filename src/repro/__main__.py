@@ -15,6 +15,16 @@ coverage    compile the suite with rule telemetry; report per-rule fire
 lint        statically lint every rulebase (stable L1xx diagnostic
             codes; errors fail, warnings ratchet against a baseline)
 synthesize  run the §4 offline pipeline over chosen benchmarks
+cache       inspect/clear the persistent result cache; print the
+            rulebase fingerprint (CI cache keys)
+
+Sweep-shaped commands (evaluate, coverage, rules --verify, lint
+--coverage, synthesize) run on the execution fabric: ``--jobs N`` fans
+cells out over worker processes, ``--cache`` persists content-addressed
+cell results under ``.repro-cache/`` (or ``--cache-dir``/$REPRO_CACHE_DIR).
+Reports are byte-identical whatever ``--jobs`` is, and caching never
+changes a result — keys include the expression, target, rulebase
+fingerprint, and repro version, so any semantic change is a miss.
 """
 
 from __future__ import annotations
@@ -31,6 +41,33 @@ from .pipeline import (
     rake_compile,
 )
 from .workloads import WORKLOADS, by_name
+
+
+def _add_fabric_args(p) -> None:
+    """``--jobs`` / ``--cache`` / ``--cache-dir`` for sweep commands."""
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes for the sweep (default 1: "
+                        "run in-process, exactly the pre-fabric "
+                        "behaviour)")
+    p.add_argument("--cache", action="store_true",
+                   help="persist per-cell results in the content-"
+                        "addressed cache and reuse them across runs")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="cache directory (implies --cache; default "
+                        ".repro-cache or $REPRO_CACHE_DIR)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="force caching off even if --cache/--cache-dir "
+                        "was given")
+
+
+def _fabric_from_args(args):
+    """(jobs, cache-or-None) from the shared fabric options."""
+    cache = None
+    if (args.cache or args.cache_dir) and not args.no_cache:
+        from .fabric import ResultCache
+
+        cache = ResultCache(root=args.cache_dir)
+    return args.jobs, cache
 
 
 def _target_list(name: str):
@@ -124,11 +161,13 @@ def cmd_compile(args) -> int:
 
 
 def cmd_evaluate(args) -> int:
+    jobs, cache = _fabric_from_args(args)
     if args.figure == "all":
         from .evaluation.report import build_full_report
 
         report = build_full_report(
-            with_rake=not args.no_rake, compile_repeats=args.repeats
+            with_rake=not args.no_rake, compile_repeats=args.repeats,
+            jobs=jobs, cache=cache,
         )
         if args.write:
             with open(args.write, "w") as fh:
@@ -144,16 +183,22 @@ def cmd_evaluate(args) -> int:
     elif args.figure == "fig5":
         from .evaluation import run_runtime_evaluation
 
-        ev = run_runtime_evaluation(with_rake=not args.no_rake)
+        ev = run_runtime_evaluation(
+            with_rake=not args.no_rake, jobs=jobs, cache=cache
+        )
         print(ev.format_table())
     elif args.figure == "fig6":
         from .evaluation import run_compile_time_evaluation
 
-        print(run_compile_time_evaluation(repeats=args.repeats).format_table())
+        print(
+            run_compile_time_evaluation(
+                repeats=args.repeats, jobs=jobs
+            ).format_table()
+        )
     elif args.figure == "fig7":
         from .evaluation import run_ablation
 
-        print(run_ablation().format_table())
+        print(run_ablation(jobs=jobs, cache=cache).format_table())
     return 0
 
 
@@ -182,20 +227,30 @@ def cmd_rules(args) -> int:
                 print(f"   {r.name:<40} {r.lhs} -> {r.rhs}{tag}")
     print(f"total: {total} rules")
     if args.verify:
-        from .verify import verify_rule
+        from .verify import batch_verify_rules
 
+        jobs, cache = _fabric_from_args(args)
         failures = 0
         checked = 0
         # Only lifting rules have full executable semantics on both
         # sides (lowering RHS are target ops); say so rather than
-        # silently skipping.
-        for label, rules in sets[:2]:
-            print(f"-- verifying {label}")
+        # silently skipping.  The batch runs on the fabric (one task per
+        # rule) but reports in registry order, so this output is
+        # byte-identical for any --jobs.
+        batches = [
+            ("lifting-hand", "lifting (hand)", HAND_RULES),
+            ("lifting-synth", "lifting (synthesized)", SYNTHESIZED_RULES),
+        ]
+        results = iter(
+            batch_verify_rules(
+                [b[0] for b in batches], jobs=jobs, cache=cache,
+                max_type_combos=6, max_const_samples=4, max_points=400,
+            )
+        )
+        for _label, display, rules in batches:
+            print(f"-- verifying {display}")
             for r in rules:
-                report = verify_rule(
-                    r, max_type_combos=6, max_const_samples=4,
-                    max_points=400,
-                )
+                _, report = next(results)
                 checked += 1
                 verdict = "ok  " if report.ok else "FAIL"
                 print(f"{verdict} {r.name:<44} [{r.source}]")
@@ -226,12 +281,19 @@ def _read_baseline(path: str) -> set:
 def cmd_coverage(args) -> int:
     from .evaluation.coverage import run_coverage
 
-    report = run_coverage(targets=_target_list(args.target))
+    jobs, cache = _fabric_from_args(args)
+    report = run_coverage(
+        targets=_target_list(args.target), jobs=jobs, cache=cache
+    )
     print(report.format_table(verbose=args.verbose))
     if args.json:
         with open(args.json, "w") as fh:
             fh.write(report.to_json())
         print(f"wrote {args.json}")
+    if report.failures:
+        # A cell that failed to compile under-reports fire counts; that
+        # must fail loudly, not masquerade as dead rules.
+        return 1
     dead_hand = {r.name for r in report.dead_hand_rules}
     if args.baseline:
         # Ratchet mode (CI): fail only on hand-written rules that are
@@ -261,7 +323,10 @@ def cmd_lint(args) -> int:
         # fires in the suite sweep is demonstrably not shadowed.
         from .evaluation.coverage import run_coverage
 
-        cov = run_coverage(targets=_target_list("all"))
+        jobs, cache = _fabric_from_args(args)
+        cov = run_coverage(
+            targets=_target_list("all"), jobs=jobs, cache=cache
+        )
         fires = {r.name: r.fires for r in cov.rows}
     report = lint_all_rulebases(coverage_fires=fires)
 
@@ -307,10 +372,13 @@ def cmd_synthesize(args) -> int:
         print("valid workloads: " + ", ".join(WORKLOADS), file=sys.stderr)
         return 2
     wls = [by_name(n) for n in names]
+    jobs, cache = _fabric_from_args(args)
     run = synthesize_lifting_rules(
         workloads=wls,
         max_lhs_size=args.max_lhs_size,
         max_candidates=args.max_candidates,
+        jobs=jobs,
+        cache=cache,
     )
     print(run.summary())
     for rule in run.rules:
@@ -321,6 +389,44 @@ def cmd_synthesize(args) -> int:
         with open(args.out, "w") as fh:
             fh.write(dump_rules(run.rules))
         print(f"wrote {len(run.rules)} rules to {args.out}")
+    return 0
+
+
+def cmd_cache(args) -> int:
+    from .fabric import ResultCache
+
+    cache = ResultCache(root=args.cache_dir)
+    if args.action == "stats":
+        s = cache.stats()
+        kib = s["bytes"] / 1024.0
+        print(f"cache root: {s['root']}")
+        print(f"entries: {s['entries']} ({kib:.1f} KiB)")
+        for kind, n in s["by_kind"].items():
+            print(f"   {kind:<16} {n:>6}")
+        if s["corrupt"]:
+            print(f"corrupt entries: {s['corrupt']}")
+    elif args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} entries from {cache.root}")
+    elif args.action == "fingerprint":
+        # One digest over every paper target's full pipeline rulebase
+        # plus the repro version — exactly the inputs that address
+        # cached results, so it's the right CI cache key.
+        from .fabric import (
+            digest,
+            pipeline_rules_fingerprint,
+            repro_version,
+        )
+
+        print(
+            digest(
+                repro_version(),
+                *(
+                    pipeline_rules_fingerprint(t.name)
+                    for t in T.PAPER_TARGETS
+                ),
+            )
+        )
     return 0
 
 
@@ -361,6 +467,7 @@ def main(argv=None) -> int:
     p.add_argument("--no-rake", action="store_true")
     p.add_argument("--repeats", type=int, default=3)
     p.add_argument("--write", help="write the report to a file")
+    _add_fabric_args(p)
     p.set_defaults(fn=cmd_evaluate)
 
     p = sub.add_parser("workloads", help="list the benchmark suite")
@@ -369,6 +476,7 @@ def main(argv=None) -> int:
     p = sub.add_parser("rules", help="list/verify the rule sets")
     p.add_argument("--verbose", action="store_true")
     p.add_argument("--verify", action="store_true")
+    _add_fabric_args(p)
     p.set_defaults(fn=cmd_rules)
 
     p = sub.add_parser(
@@ -385,6 +493,7 @@ def main(argv=None) -> int:
                    help="known-dead rule names (one per line); exit "
                         "non-zero only for dead hand-written rules NOT "
                         "in this file (CI ratchet)")
+    _add_fabric_args(p)
     p.set_defaults(fn=cmd_coverage)
 
     p = sub.add_parser(
@@ -400,6 +509,7 @@ def main(argv=None) -> int:
                    help="run the coverage sweep and drop shadowing "
                         "(L105) findings for rules that demonstrably "
                         "fire")
+    _add_fabric_args(p)
     p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("synthesize", help="run the §4 offline pipeline")
@@ -411,7 +521,21 @@ def main(argv=None) -> int:
     p.add_argument("--max-lhs-size", type=int, default=6)
     p.add_argument("--max-candidates", type=int, default=60)
     p.add_argument("--out", help="write learned rules to a rule file")
+    _add_fabric_args(p)
     p.set_defaults(fn=cmd_synthesize)
+
+    p = sub.add_parser(
+        "cache",
+        help="inspect/clear the persistent result cache",
+    )
+    p.add_argument("action", choices=["stats", "clear", "fingerprint"],
+                   help="stats: entry counts per job kind; clear: "
+                        "delete every entry; fingerprint: print the "
+                        "combined rulebase fingerprint (CI cache key)")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="cache directory (default .repro-cache or "
+                        "$REPRO_CACHE_DIR)")
+    p.set_defaults(fn=cmd_cache)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -94,14 +94,40 @@ def ablate_one(
 def run_ablation(
     workload_names: Optional[List[str]] = None,
     targets: Optional[List[Target]] = None,
+    jobs: int = 1,
+    cache=None,
 ) -> AblationEvaluation:
-    """Run the Figure 7 ablation over the benchmark suite."""
+    """Run the Figure 7 ablation over the benchmark suite.
+
+    One fabric task per (workload, target) cell; modelled cycles are
+    deterministic, so cells cache against the workload expression plus
+    both rulebase fingerprints (full and hand-only).
+    """
+    from ..fabric import TaskSpec, run_tasks
+
     wls = all_workloads()
     if workload_names is not None:
         wls = [w for w in wls if w.name in set(workload_names)]
     tgts = targets if targets is not None else [ARM, HVX]
+    specs = [
+        TaskSpec("ablation", key=(wl.name, tgt.name))
+        for wl in wls
+        for tgt in tgts
+    ]
     ev = AblationEvaluation()
-    for wl in wls:
-        for tgt in tgts:
-            ev.results.append(ablate_one(wl, tgt))
+    for res in run_tasks(specs, jobs=jobs, cache=cache):
+        if not res.ok:
+            raise RuntimeError(
+                f"ablation cell {res.spec.key} failed: {res.error}"
+            )
+        v = res.value
+        ev.results.append(
+            AblationResult(
+                workload=res.spec.key[0],
+                target=res.spec.key[1],
+                hand_only_cycles=v["hand_only_cycles"],
+                full_cycles=v["full_cycles"],
+                verified=v["verified"],
+            )
+        )
     return ev

@@ -177,14 +177,42 @@ def run_compile_time_evaluation(
     workload_names: Optional[List[str]] = None,
     targets: Optional[List[Target]] = None,
     repeats: int = 3,
+    jobs: int = 1,
 ) -> CompileTimeEvaluation:
-    """Run the Figure 6 compile-time sweep."""
+    """Run the Figure 6 compile-time sweep.
+
+    Each (workload, target) cell is one fabric task; with ``jobs > 1``
+    the cells time themselves in separate worker processes.  Timing
+    cells are never cached — a stale wall-clock number is worse than no
+    number — so there is no ``cache`` parameter here.
+    """
+    from ..fabric import TaskSpec, run_tasks
+
     wls = all_workloads()
     if workload_names is not None:
         wls = [w for w in wls if w.name in set(workload_names)]
     tgts = targets if targets is not None else [X86, ARM, HVX]
+    specs = [
+        TaskSpec("compile-time", key=(wl.name, tgt.name), params=(repeats,))
+        for wl in wls
+        for tgt in tgts
+    ]
     ev = CompileTimeEvaluation()
-    for wl in wls:
-        for tgt in tgts:
-            ev.results.append(measure_one(wl, tgt, repeats=repeats))
+    for res in run_tasks(specs, jobs=jobs):
+        if not res.ok:
+            raise RuntimeError(
+                f"compile-time cell {res.spec.key} failed: {res.error}"
+            )
+        v = res.value
+        ev.results.append(
+            CompileTimeResult(
+                workload=res.spec.key[0],
+                target=res.spec.key[1],
+                llvm_seconds=v["llvm_seconds"],
+                pitchfork_seconds=v["pitchfork_seconds"],
+                stats=None
+                if v["stats"] is None
+                else CompileStats.from_dict(v["stats"]),
+            )
+        )
     return ev

@@ -8,6 +8,12 @@ dead hand-written rule is either a missed pattern in the suite or a rule
 subsumed by a cheaper one — exactly the coverage/cost feedback a rule-
 synthesis loop (Daly et al.) consumes.  ``python -m repro coverage``
 prints this report and exits non-zero iff a hand-written rule is dead.
+
+The sweep runs on the execution fabric (:mod:`repro.fabric`): each
+(workload, target) cell is one task, so the whole grid can fan out over
+worker processes (``jobs=N``) and cache per-cell telemetry keyed by the
+cell's expression + rulebase fingerprint.  Cells merge in input order,
+so the report is byte-identical whatever ``jobs`` is.
 """
 
 from __future__ import annotations
@@ -16,8 +22,8 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..observe import MetricsRegistry, Observation
-from ..pipeline import pitchfork_compile
+from ..fabric import TaskSpec, run_tasks
+from ..observe import MetricsRegistry
 from ..targets import PAPER_TARGETS, Target
 from ..workloads import all_workloads
 
@@ -53,6 +59,8 @@ class CoverageReport:
     workloads: List[str] = field(default_factory=list)
     targets: List[str] = field(default_factory=list)
     metrics: Optional[MetricsRegistry] = None
+    #: "(workload, target): error" for any cell that failed to compile
+    failures: List[str] = field(default_factory=list)
 
     @property
     def dead(self) -> List[RuleCoverage]:
@@ -66,8 +74,8 @@ class CoverageReport:
 
     @property
     def ok(self) -> bool:
-        """True when no hand-written rule is dead."""
-        return not self.dead_hand_rules
+        """True when no hand-written rule is dead and every cell ran."""
+        return not self.dead_hand_rules and not self.failures
 
     def format_table(self, verbose: bool = False) -> str:
         """Human-readable coverage report.
@@ -94,6 +102,8 @@ class CoverageReport:
             for r in sorted(shown, key=lambda r: -r.fires):
                 tag = "" if r.is_hand else f"  [{r.source}]"
                 lines.append(f"   {r.name:<44} {r.fires:>6}{tag}")
+        for failure in self.failures:
+            lines.append(f"CELL FAILED: {failure}")
         dead = self.dead
         if dead:
             lines.append(
@@ -132,6 +142,7 @@ class CoverageReport:
             ],
             "dead": [r.name for r in self.dead],
             "dead_hand_rules": [r.name for r in self.dead_hand_rules],
+            "failures": list(self.failures),
         }
 
     def to_json(self, indent: Optional[int] = 1) -> str:
@@ -143,12 +154,18 @@ def run_coverage(
     workload_names: Optional[Sequence[str]] = None,
     targets: Optional[Sequence[Target]] = None,
     use_synthesized: bool = True,
+    jobs: int = 1,
+    cache=None,
+    tracer=None,
 ) -> CoverageReport:
     """Compile the suite with rule telemetry on; tabulate per-rule fires.
 
-    Each compile runs with a metrics-only :class:`Observation` (no event
-    trace, fresh provenance) sharing one registry, so fire counts
-    aggregate across the whole sweep.
+    Each (workload, target) cell is one fabric task compiling with a
+    metrics-only :class:`~repro.observe.Observation` into a private
+    registry; cell snapshots merge in input order into one sweep-wide
+    registry, so the aggregated fire counts are identical to the old
+    single-registry serial sweep for any ``jobs``.  ``cache`` (a
+    :class:`~repro.fabric.ResultCache`) makes unchanged cells free.
     """
     from ..lifting import HAND_RULES, SYNTHESIZED_RULES
 
@@ -158,16 +175,20 @@ def run_coverage(
         wls = [w for w in wls if w.name in keep]
     tgts = list(targets) if targets is not None else list(PAPER_TARGETS)
 
+    specs = [
+        TaskSpec("coverage", key=(wl.name, t.name), params=(use_synthesized,))
+        for wl in wls
+        for t in tgts
+    ]
     registry = MetricsRegistry()
-    for wl in wls:
-        for t in tgts:
-            pitchfork_compile(
-                wl.expr,
-                t,
-                var_bounds=wl.var_bounds,
-                use_synthesized=use_synthesized,
-                trace=Observation.quiet(metrics=registry),
-            )
+    failures: List[str] = []
+    for res in run_tasks(
+        specs, jobs=jobs, cache=cache, metrics=registry, tracer=tracer
+    ):
+        if res.ok:
+            registry.merge_snapshot(res.value)
+        else:
+            failures.append(f"({'/'.join(res.spec.key)}): {res.error}")
 
     rows: List[RuleCoverage] = []
     lifting_rules = list(HAND_RULES)
@@ -208,4 +229,5 @@ def run_coverage(
         workloads=[w.name for w in wls],
         targets=[t.name for t in tgts],
         metrics=registry,
+        failures=failures,
     )

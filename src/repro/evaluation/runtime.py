@@ -194,14 +194,43 @@ def run_runtime_evaluation(
     workload_names: Optional[List[str]] = None,
     targets: Optional[List[Target]] = None,
     with_rake: bool = True,
+    jobs: int = 1,
+    cache=None,
 ) -> RuntimeEvaluation:
-    """Regenerate the full Figure 5 dataset."""
+    """Regenerate the full Figure 5 dataset.
+
+    Runs on the execution fabric: one task per (workload, target) cell.
+    Modelled cycles are deterministic, so cells are cacheable — keyed by
+    the workload expression and the exact (leave-one-out filtered)
+    rulebase fingerprint.
+    """
+    from ..fabric import TaskSpec, run_tasks
+
     wls = all_workloads()
     if workload_names is not None:
         wls = [w for w in wls if w.name in set(workload_names)]
     tgts = targets if targets is not None else [X86, ARM, HVX]
+    specs = [
+        TaskSpec("runtime", key=(wl.name, tgt.name), params=(with_rake, True))
+        for wl in wls
+        for tgt in tgts
+    ]
     ev = RuntimeEvaluation()
-    for wl in wls:
-        for tgt in tgts:
-            ev.results.append(run_one(wl, tgt, with_rake=with_rake))
+    for res in run_tasks(specs, jobs=jobs, cache=cache):
+        if not res.ok:
+            raise RuntimeError(
+                f"runtime cell {res.spec.key} failed: {res.error}"
+            )
+        v = res.value
+        ev.results.append(
+            BenchmarkResult(
+                workload=res.spec.key[0],
+                target=res.spec.key[1],
+                llvm_cycles=v["llvm_cycles"],
+                pitchfork_cycles=v["pitchfork_cycles"],
+                rake_cycles=v["rake_cycles"],
+                llvm_substituted=v["llvm_substituted"],
+                verified=v["verified"],
+            )
+        )
     return ev

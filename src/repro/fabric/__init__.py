@@ -1,0 +1,66 @@
+"""The execution fabric: parallel fan-out + content-addressed caching.
+
+Every matrix-shaped job in the repo — the Figure 6 compile-time sweep,
+the 16-workload x 3-target coverage sweep, batch rule verification,
+synthesis fingerprinting — is a grid of independent cells.  This package
+gives them one execution layer:
+
+* :mod:`~repro.fabric.scheduler` — a deterministic fan-out scheduler
+  over ``concurrent.futures.ProcessPoolExecutor``.  Tasks are
+  ``(kind, key, params)`` *descriptors*; workers rebuild the real inputs
+  from process-local registries, results merge in input order, and a
+  crashed worker fails only its own cell.
+* :mod:`~repro.fabric.cache` — a persistent content-addressed result
+  cache (default ``.repro-cache/``) keyed by serialized expression +
+  target + rulebase fingerprint + repro version.
+* :mod:`~repro.fabric.fingerprint` — the content fingerprints behind the
+  cache keys (expressions via :mod:`repro.trs.serialize`, rules with
+  predicate bytecode included).
+* :mod:`~repro.fabric.jobs` — the built-in job kinds (coverage cells,
+  rule verification, Figure 5/6/7 cells, SyGuS searches).
+
+Consumers thread ``jobs=``/``cache=`` through
+(:func:`repro.evaluation.coverage.run_coverage`,
+:func:`repro.verify.batch_verify_rules`, ...); the CLI exposes
+``--jobs N`` on the sweep subcommands and ``python -m repro cache
+{stats,clear,fingerprint}`` for cache maintenance.  ``jobs=1`` stays the
+default and is byte-identical to the pre-fabric serial code paths.
+"""
+
+from . import jobs  # noqa: F401  (job-kind registration side effects)
+from .cache import ResultCache, default_cache_dir
+from .fingerprint import (
+    digest,
+    expr_fingerprint,
+    pipeline_rules_fingerprint,
+    predicate_fingerprint,
+    repro_version,
+    rule_fingerprint,
+    rulebase_fingerprint,
+)
+from .scheduler import (
+    JobKind,
+    TaskResult,
+    TaskSpec,
+    get_job_kind,
+    job_kind,
+    run_tasks,
+)
+
+__all__ = [
+    "JobKind",
+    "ResultCache",
+    "TaskResult",
+    "TaskSpec",
+    "default_cache_dir",
+    "digest",
+    "expr_fingerprint",
+    "get_job_kind",
+    "job_kind",
+    "pipeline_rules_fingerprint",
+    "predicate_fingerprint",
+    "repro_version",
+    "rule_fingerprint",
+    "rulebase_fingerprint",
+    "run_tasks",
+]

@@ -1,0 +1,316 @@
+"""Deterministic fan-out scheduler over ``ProcessPoolExecutor``.
+
+The unit of work is a :class:`TaskSpec` — a *descriptor*, not a payload:
+``(job kind, key strings, parameters)``.  Workers look the kind up in
+the job registry (:mod:`repro.fabric.jobs`) and rebuild the actual
+inputs (workload expressions, rule objects) from their own process-local
+registries, so nothing interned or closure-laden is ever pickled across
+the process boundary.
+
+Guarantees:
+
+* **Determinism** — results are merged in input order no matter which
+  worker finished first; a ``jobs=N`` sweep produces the same result
+  list as ``jobs=1``.
+* **Serial default** — ``jobs=1`` runs every task inline in the calling
+  process: no pool, no pickling, byte-identical to the pre-fabric code
+  paths.
+* **Failure isolation** — a task that raises (or whose worker process
+  dies) yields a failed :class:`TaskResult`; the sweep continues.  A
+  broken pool is rebuilt for the tasks it took down, so one poisoned
+  cell cannot fail its neighbours.
+* **Caching** — when a :class:`~repro.fabric.cache.ResultCache` is
+  attached, cacheable kinds are looked up before dispatch and stored
+  after success; hits skip execution entirely.
+* **Telemetry** — per-task wall time lands in ``fabric_task_seconds``
+  histograms and ``fabric_tasks`` counters on an attached
+  :class:`~repro.observe.MetricsRegistry`; an attached tracer gets one
+  span per task (labelled with the worker pid) on the fabric timeline.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "JobKind",
+    "TaskSpec",
+    "TaskResult",
+    "job_kind",
+    "get_job_kind",
+    "run_tasks",
+]
+
+#: how many pool breakages run_tasks tolerates before giving up on retry
+MAX_POOL_REBUILDS = 3
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One cell of a sweep: ``(kind, key, params)`` — all picklable.
+
+    ``key`` names the cell (e.g. ``("sobel3x3", "arm-neon")``); ``params``
+    carries kind-specific knobs (sample budgets, flags).  Workers rebuild
+    the real inputs from these names.
+    """
+
+    kind: str
+    key: Tuple[str, ...]
+    params: Tuple = ()
+
+
+@dataclass
+class TaskResult:
+    """Outcome of one task, in input order."""
+
+    spec: TaskSpec
+    ok: bool
+    value: Any = None
+    error: Optional[str] = None
+    #: wall time of the task body (0.0 for cache hits)
+    seconds: float = 0.0
+    #: pid of the process that executed the task
+    pid: int = 0
+    #: True when the value came from the result cache
+    cached: bool = False
+
+
+@dataclass(frozen=True)
+class JobKind:
+    """A registered task kind: an executor plus its cache contract."""
+
+    name: str
+    fn: Callable[[TaskSpec], Any]
+    #: may results be persisted in the content-addressed cache?
+    cacheable: bool = False
+    #: content components of the cache key (beyond kind/version/params);
+    #: required when ``cacheable``
+    cache_parts: Optional[Callable[[TaskSpec], Tuple[str, ...]]] = None
+
+
+_JOB_KINDS: Dict[str, JobKind] = {}
+
+
+def job_kind(
+    name: str,
+    cacheable: bool = False,
+    cache_parts: Optional[Callable[[TaskSpec], Tuple[str, ...]]] = None,
+):
+    """Decorator registering a job-kind executor under ``name``."""
+
+    def register(fn: Callable[[TaskSpec], Any]):
+        if cacheable and cache_parts is None:
+            raise ValueError(f"cacheable kind {name!r} needs cache_parts")
+        _JOB_KINDS[name] = JobKind(
+            name=name, fn=fn, cacheable=cacheable, cache_parts=cache_parts
+        )
+        return fn
+
+    return register
+
+
+def _ensure_registered() -> None:
+    """Import the built-in job kinds (idempotent; needed in spawn-start
+    workers, which begin with a bare interpreter)."""
+    from . import jobs  # noqa: F401  (registration side effects)
+
+
+def get_job_kind(name: str) -> JobKind:
+    """Look up a registered kind; raises ``KeyError`` with the options."""
+    _ensure_registered()
+    try:
+        return _JOB_KINDS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown job kind {name!r}; registered: {sorted(_JOB_KINDS)}"
+        ) from None
+
+
+def _execute(spec: TaskSpec) -> Tuple[str, Any, float, int]:
+    """Run one task body; never raises (errors become values).
+
+    This is the function submitted to worker processes, so its return
+    value must be picklable: job kinds return JSON-ish data, failures
+    return the formatted exception.
+    """
+    _ensure_registered()
+    t0 = time.perf_counter()
+    try:
+        kind = _JOB_KINDS[spec.kind]
+        value = kind.fn(spec)
+        return ("ok", value, time.perf_counter() - t0, os.getpid())
+    except KeyboardInterrupt:  # pragma: no cover - let ^C kill the sweep
+        raise
+    except BaseException as exc:
+        err = f"{type(exc).__name__}: {exc}"
+        return ("error", err, time.perf_counter() - t0, os.getpid())
+
+
+def _to_result(
+    spec: TaskSpec, raw: Tuple[str, Any, float, int]
+) -> TaskResult:
+    status, value, seconds, pid = raw
+    if status == "ok":
+        return TaskResult(spec, ok=True, value=value, seconds=seconds,
+                          pid=pid)
+    return TaskResult(spec, ok=False, error=value, seconds=seconds, pid=pid)
+
+
+@dataclass
+class _Pending:
+    index: int
+    spec: TaskSpec
+    cache_key: Optional[str] = None
+
+
+def run_tasks(
+    specs: Sequence[TaskSpec],
+    jobs: int = 1,
+    cache=None,
+    metrics=None,
+    tracer=None,
+) -> List[TaskResult]:
+    """Run every task and return results **in input order**.
+
+    ``jobs=1`` (default) executes inline; ``jobs>1`` fans the cache
+    misses out over a worker pool.  ``cache`` is an optional
+    :class:`~repro.fabric.cache.ResultCache`; ``metrics``/``tracer`` are
+    optional observe-layer sinks.
+    """
+    _ensure_registered()
+    specs = list(specs)
+    results: List[Optional[TaskResult]] = [None] * len(specs)
+
+    # -- phase 1: resolve cache hits ----------------------------------
+    pending: List[_Pending] = []
+    for i, spec in enumerate(specs):
+        kind = get_job_kind(spec.kind)
+        ckey = None
+        if cache is not None and kind.cacheable:
+            ckey = cache.key(
+                spec.kind,
+                repr(spec.key),
+                repr(spec.params),
+                *kind.cache_parts(spec),
+            )
+            hit, value = cache.get(spec.kind, ckey)
+            if hit:
+                results[i] = TaskResult(
+                    spec, ok=True, value=value, cached=True,
+                    pid=os.getpid(),
+                )
+                continue
+        pending.append(_Pending(i, spec, ckey))
+
+    # -- phase 2: execute misses --------------------------------------
+    if jobs <= 1 or len(pending) <= 1:
+        for p in pending:
+            results[p.index] = _to_result(p.spec, _execute(p.spec))
+    else:
+        _run_pool(pending, jobs, results)
+
+    # -- phase 3: persist + account -----------------------------------
+    cache_keys = {p.index: p.cache_key for p in pending}
+    for i, res in enumerate(results):
+        assert res is not None
+        if cache is not None and res.ok and not res.cached:
+            ckey = cache_keys.get(i)
+            if ckey is not None:
+                cache.put(res.spec.kind, ckey, res.value)
+        if metrics is not None:
+            outcome = (
+                "cached" if res.cached else ("ok" if res.ok else "failed")
+            )
+            metrics.counter(
+                "fabric_tasks", kind=res.spec.kind, outcome=outcome
+            ).inc()
+            if not res.cached:
+                metrics.histogram(
+                    "fabric_task_seconds", kind=res.spec.kind
+                ).observe(res.seconds)
+        if tracer is not None and tracer.enabled:
+            _record_span(tracer, res)
+    return results  # type: ignore[return-value]
+
+
+def _record_span(tracer, res: TaskResult) -> None:
+    """Re-emit one finished task as a span on the caller's timeline.
+
+    Worker processes cannot share the parent's tracer, so the scheduler
+    reconstructs a span from the measured wall time after the fact; the
+    worker pid labels which process ran it.
+    """
+    from ..observe.tracer import Span
+
+    end = tracer._now_us()
+    tracer.spans.append(
+        Span(
+            name=f"task:{res.spec.kind}",
+            start_us=end - res.seconds * 1e6,
+            depth=0,
+            duration_us=res.seconds * 1e6,
+            args={
+                "key": "/".join(res.spec.key),
+                "pid": res.pid,
+                "outcome": "cached" if res.cached
+                else ("ok" if res.ok else "failed"),
+            },
+        )
+    )
+
+
+def _run_pool(
+    pending: List[_Pending], jobs: int, results: List[Optional[TaskResult]]
+) -> None:
+    """Fan pending tasks out over a worker pool, isolating crashes.
+
+    Python-level exceptions never surface here (``_execute`` catches
+    them in the worker); only an abrupt worker death (segfault,
+    ``os._exit``) breaks the pool.  When that happens every in-flight
+    future fails collaterally, so each affected task is retried once in
+    a fresh single-worker pool — the genuinely poisonous task fails
+    again (and is reported failed), innocent neighbours succeed.
+    """
+    broken: List[_Pending] = []
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = {
+            pool.submit(_execute, p.spec): p for p in pending
+        }
+        not_done = set(futures)
+        while not_done:
+            done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+            for fut in done:
+                p = futures[fut]
+                try:
+                    results[p.index] = _to_result(p.spec, fut.result())
+                except BrokenProcessPool:
+                    broken.append(p)
+                except Exception as exc:  # pragma: no cover - pickling
+                    results[p.index] = TaskResult(
+                        p.spec, ok=False, error=f"{type(exc).__name__}: {exc}"
+                    )
+
+    rebuilds = 0
+    for p in sorted(broken, key=lambda p: p.index):
+        if rebuilds >= MAX_POOL_REBUILDS:
+            results[p.index] = TaskResult(
+                p.spec, ok=False,
+                error="worker pool broken (retry budget exhausted)",
+            )
+            continue
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            try:
+                results[p.index] = _to_result(
+                    p.spec, pool.submit(_execute, p.spec).result()
+                )
+            except Exception as exc:
+                rebuilds += 1
+                results[p.index] = TaskResult(
+                    p.spec, ok=False,
+                    error=f"worker process died: {type(exc).__name__}",
+                )

@@ -147,6 +147,27 @@ class MetricsRegistry:
         """:meth:`to_dict`, serialized."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
+    def merge_snapshot(self, snapshot: Dict[str, List[Dict[str, Any]]]) -> None:
+        """Fold a :meth:`to_dict` payload into this registry.
+
+        Counters add; histograms combine their running summaries.  This
+        is how the execution fabric aggregates per-worker registries
+        back into one sweep-wide registry (workers can't share the
+        parent's instruments, so they ship snapshots instead).
+        """
+        for c in snapshot.get("counters", ()):
+            self.counter(c["name"], **c["labels"]).inc(c["value"])
+        for h in snapshot.get("histograms", ()):
+            inst = self.histogram(h["name"], **h["labels"])
+            if not h["count"]:
+                continue
+            inst.count += h["count"]
+            inst.total += h["total"]
+            if inst.min is None or h["min"] < inst.min:
+                inst.min = h["min"]
+            if inst.max is None or h["max"] > inst.max:
+                inst.max = h["max"]
+
     def __len__(self) -> int:
         return len(self._counters) + len(self._histograms)
 

@@ -155,6 +155,23 @@ class CompileStats:
             ],
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CompileStats":
+        """Rebuild from a :meth:`to_dict` payload (fabric round-trip)."""
+        return cls(
+            passes=[
+                PassStats(
+                    name=p["name"],
+                    seconds=p["seconds"],
+                    rewrites=p["rewrites"],
+                    nodes_in=p["nodes_in"],
+                    nodes_out=p["nodes_out"],
+                )
+                for p in data.get("passes", ())
+            ],
+            total_seconds=data.get("total_seconds", 0.0),
+        )
+
 
 class PassManager:
     """Runs an ordered pass list, timing and instrumenting each pass.

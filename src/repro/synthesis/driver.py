@@ -45,27 +45,104 @@ class SynthesisRun:
         )
 
 
+def _search_corpus(
+    wl_list: List[Workload],
+    corpus: List[CorpusEntry],
+    max_lhs_size: int,
+    max_rhs_size: int,
+    jobs: int,
+    cache,
+) -> List[Optional[SynthesisResult]]:
+    """Run the per-entry SyGuS search, on the fabric when possible.
+
+    Only the search itself (the expensive, embarrassingly-parallel part)
+    fans out; generalization and rule naming stay serial in the caller so
+    the produced rules are identical to the all-inline pipeline.  Workers
+    ship each found RHS back as s-expression text; the caller re-derives
+    costs (deterministic).  Entries whose RHS the serializer cannot
+    express — and any infrastructure failure — are redone inline, so a
+    degraded fabric degrades to the serial pipeline, never to a gap.
+    """
+    def inline(entry: CorpusEntry) -> Optional[SynthesisResult]:
+        return synthesize_lift(entry.expr, max_size=max_rhs_size)
+
+    usable = jobs > 1 or cache is not None
+    if usable:
+        from ..workloads import by_name
+
+        try:
+            names = tuple(w.name for w in wl_list)
+            usable = all(by_name(n) is w for n, w in zip(names, wl_list))
+        except ValueError:
+            usable = False
+    if not usable:  # unnamed/ad-hoc workloads: workers can't rebuild them
+        return [inline(entry) for entry in corpus]
+
+    from ..fabric import TaskSpec, run_tasks
+    from ..trs.costs import cost
+    from ..trs.serialize import load_expr
+
+    specs = [
+        TaskSpec(
+            "synthesize-lift",
+            key=(str(i),),
+            params=(names, max_lhs_size, max_rhs_size),
+        )
+        for i in range(len(corpus))
+    ]
+    out: List[Optional[SynthesisResult]] = []
+    for res, entry in zip(run_tasks(specs, jobs=jobs, cache=cache), corpus):
+        if not res.ok:
+            out.append(inline(entry))
+        elif not res.value.get("found"):
+            out.append(None)
+        elif res.value.get("unserializable"):
+            out.append(inline(entry))
+        else:
+            rhs = load_expr(res.value["rhs"])
+            out.append(
+                SynthesisResult(
+                    lhs=entry.expr,
+                    rhs=rhs,
+                    lhs_cost=cost(entry.expr),
+                    rhs_cost=cost(rhs),
+                    candidates_explored=res.value["candidates_explored"],
+                )
+            )
+    return out
+
+
 def synthesize_lifting_rules(
     workloads: Optional[Iterable[Workload]] = None,
     max_lhs_size: int = 6,
     max_rhs_size: int = 4,
     max_candidates: Optional[int] = None,
     generalize: bool = True,
+    jobs: int = 1,
+    cache=None,
 ) -> SynthesisRun:
     """Run the §4.1 + §4.3 pipeline and return verified lifting rules.
 
     ``max_lhs_size`` is kept below the paper's 10 by default to bound the
-    demo's running time; the full setting works, just slower.
+    demo's running time; the full setting works, just slower.  With
+    ``jobs``/``cache`` the per-entry SyGuS searches run on the execution
+    fabric (see :func:`_search_corpus`); the produced rules are identical
+    either way.
     """
     run = SynthesisRun()
-    corpus = extract_corpus(workloads, max_size=max_lhs_size)
+    wl_list = (
+        list(workloads) if workloads is not None else list(all_workloads())
+    )
+    corpus = extract_corpus(wl_list, max_size=max_lhs_size)
     run.corpus_size = len(corpus)
     if max_candidates is not None:
         corpus = corpus[:max_candidates]
 
+    results = _search_corpus(
+        wl_list, corpus, max_lhs_size, max_rhs_size, jobs, cache
+    )
     seen_rule_shapes = set()
-    for entry in corpus:
-        result = synthesize_lift(entry.expr, max_size=max_rhs_size)
+    for entry, result in zip(corpus, results):
         if result is None:
             continue
         run.pairs.append(result)

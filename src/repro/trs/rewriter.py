@@ -80,7 +80,12 @@ class RewriteEngine:
             raise ValueError(f"unknown strategy {strategy!r}")
         #: phase label stamped on telemetry (e.g. "lift", "lower")
         self.name = name
-        self.rules = list(rules)
+        #: the rule set, frozen at construction.  The engine's match
+        #: indexes and per-rule prechecks are built once from this
+        #: sequence, and the fabric's cache keys fingerprint it, so
+        #: mutating it after construction would desynchronize both —
+        #: build a new engine to change rules.
+        self.rules = tuple(rules)
         self.require_cost_decrease = require_cost_decrease
         self.max_passes = max_passes
         self.cost_fn = cost_fn

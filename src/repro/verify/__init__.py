@@ -1,5 +1,6 @@
 """Bounded verification of rewrite rules (the §2.4 machinery)."""
 
+from .batch import batch_verify_rules  # noqa: F401
 from .rule_verifier import (  # noqa: F401
     VerificationReport,
     verify_equivalence,

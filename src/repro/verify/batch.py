@@ -1,0 +1,74 @@
+"""Batch rule verification on the execution fabric.
+
+``python -m repro rules --verify`` historically looped over every
+lifting rule in-process.  This module lifts that loop onto
+:mod:`repro.fabric`: one ``verify-rule`` task per rule, so the batch can
+fan out over worker processes (``jobs=N``) and cache verdicts
+content-addressed by each rule's fingerprint — re-verifying an unchanged
+rulebase is pure cache hits.
+
+Determinism contract: results come back in rule order regardless of
+``jobs``, so the printed report is byte-identical between serial and
+parallel runs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..fabric import TaskSpec, run_tasks
+from ..fabric.jobs import resolve_ruleset
+from .rule_verifier import VerificationReport
+
+__all__ = ["batch_verify_rules"]
+
+
+def batch_verify_rules(
+    ruleset_labels: Sequence[str],
+    jobs: int = 1,
+    cache=None,
+    metrics=None,
+    tracer=None,
+    seed: int = 0,
+    max_type_combos: int = 32,
+    max_const_samples: int = 12,
+    max_points: int = 2048,
+) -> List[Tuple[str, VerificationReport]]:
+    """Verify every rule of the named rulesets; ordered, fail-safe.
+
+    Returns ``(ruleset_label, report)`` pairs in registry order.  A task
+    failure (worker crash, resolution error) becomes a failing report
+    whose counterexample names the infrastructure error, so a sweep
+    never silently drops a rule.
+    """
+    specs: List[TaskSpec] = []
+    for label in ruleset_labels:
+        for rule in resolve_ruleset(label):
+            specs.append(
+                TaskSpec(
+                    "verify-rule",
+                    key=(label, rule.name),
+                    params=(
+                        seed, max_type_combos, max_const_samples,
+                        max_points,
+                    ),
+                )
+            )
+    results = run_tasks(
+        specs, jobs=jobs, cache=cache, metrics=metrics, tracer=tracer
+    )
+    out: List[Tuple[str, VerificationReport]] = []
+    for res in results:
+        label, rule_name = res.spec.key
+        if res.ok:
+            report = VerificationReport.from_dict(res.value)
+        else:
+            report = VerificationReport(
+                rule_name=rule_name,
+                ok=False,
+                checked_combos=0,
+                checked_points=0,
+                counterexample={"reason": f"task failed: {res.error}"},
+            )
+        out.append((label, report))
+    return out

@@ -60,6 +60,29 @@ class VerificationReport:
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.ok
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (the fabric's cached-verdict payload)."""
+        return {
+            "rule_name": self.rule_name,
+            "ok": self.ok,
+            "checked_combos": self.checked_combos,
+            "checked_points": self.checked_points,
+            "counterexample": self.counterexample,
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "VerificationReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        return cls(
+            rule_name=d["rule_name"],
+            ok=d["ok"],
+            checked_combos=d["checked_combos"],
+            checked_points=d["checked_points"],
+            counterexample=d["counterexample"],
+            notes=list(d["notes"]),
+        )
+
 
 # ----------------------------------------------------------------------
 # Pattern introspection

@@ -1,0 +1,134 @@
+"""Scheduler contract: ordering, serial default, failure isolation."""
+
+import os
+import time
+
+import pytest
+
+from repro.fabric import TaskSpec, run_tasks
+from repro.fabric.scheduler import job_kind
+from repro.observe import MetricsRegistry, Tracer
+
+
+# Test-only job kinds.  Registered at import time, so fork-started
+# workers inherit them; the t- prefix keeps them out of real sweeps.
+@job_kind("t-echo")
+def _t_echo(spec):
+    return list(spec.key)
+
+
+@job_kind("t-jitter")
+def _t_jitter(spec):
+    # Even-indexed tasks finish last: completion order != input order.
+    if int(spec.key[0]) % 2 == 0:
+        time.sleep(0.05)
+    return spec.key[0]
+
+
+@job_kind("t-fail")
+def _t_fail(spec):
+    if spec.key[0] == "bad":
+        raise ValueError("poisoned cell")
+    return spec.key[0]
+
+
+@job_kind("t-crash")
+def _t_crash(spec):
+    if spec.key[0] == "crash":
+        os._exit(13)  # kill the worker without Python cleanup
+    return spec.key[0]
+
+
+class TestOrderingAndSerialDefault:
+    def test_results_merge_in_input_order(self):
+        specs = [TaskSpec("t-jitter", (str(i),)) for i in range(6)]
+        results = run_tasks(specs, jobs=3)
+        assert [r.value for r in results] == [str(i) for i in range(6)]
+        assert all(r.ok for r in results)
+
+    def test_jobs_one_runs_inline(self):
+        results = run_tasks([TaskSpec("t-echo", ("a", "b"))], jobs=1)
+        assert results[0].value == ["a", "b"]
+        assert results[0].pid == os.getpid()
+
+    def test_single_pending_task_never_pays_for_a_pool(self):
+        # jobs>1 with one task still runs inline (same pid).
+        results = run_tasks([TaskSpec("t-echo", ("x",))], jobs=4)
+        assert results[0].pid == os.getpid()
+
+    def test_parallel_equals_serial(self):
+        specs = [TaskSpec("t-jitter", (str(i),)) for i in range(5)]
+        serial = run_tasks(specs, jobs=1)
+        parallel = run_tasks(specs, jobs=4)
+        assert [(r.ok, r.value) for r in serial] == [
+            (r.ok, r.value) for r in parallel
+        ]
+
+    def test_unknown_kind_names_the_options(self):
+        with pytest.raises(KeyError, match="no-such-kind"):
+            run_tasks([TaskSpec("no-such-kind", ("x",))])
+
+
+class TestFailureIsolation:
+    def test_raising_task_fails_alone_inline(self):
+        specs = [
+            TaskSpec("t-fail", ("ok1",)),
+            TaskSpec("t-fail", ("bad",)),
+            TaskSpec("t-fail", ("ok2",)),
+        ]
+        results = run_tasks(specs, jobs=1)
+        assert [r.ok for r in results] == [True, False, True]
+        assert "poisoned cell" in results[1].error
+        assert results[0].value == "ok1" and results[2].value == "ok2"
+
+    def test_raising_task_fails_alone_in_pool(self):
+        specs = [
+            TaskSpec("t-fail", ("ok1",)),
+            TaskSpec("t-fail", ("bad",)),
+            TaskSpec("t-fail", ("ok2",)),
+        ]
+        results = run_tasks(specs, jobs=2)
+        assert [r.ok for r in results] == [True, False, True]
+        assert "ValueError" in results[1].error
+
+    def test_worker_crash_fails_only_its_cell(self):
+        # os._exit kills the worker abruptly; the pool breaks, collateral
+        # tasks are retried in fresh pools, only the crasher stays failed.
+        specs = [
+            TaskSpec("t-crash", ("a",)),
+            TaskSpec("t-crash", ("crash",)),
+            TaskSpec("t-crash", ("b",)),
+            TaskSpec("t-crash", ("c",)),
+        ]
+        results = run_tasks(specs, jobs=2)
+        by_key = {r.spec.key[0]: r for r in results}
+        assert not by_key["crash"].ok
+        assert all(by_key[k].ok for k in ("a", "b", "c"))
+        assert [r.spec.key[0] for r in results] == ["a", "crash", "b", "c"]
+
+
+class TestTelemetry:
+    def test_metrics_counters_and_histograms(self):
+        metrics = MetricsRegistry()
+        specs = [
+            TaskSpec("t-fail", ("ok1",)),
+            TaskSpec("t-fail", ("bad",)),
+        ]
+        run_tasks(specs, jobs=1, metrics=metrics)
+        assert metrics.counter_value(
+            "fabric_tasks", kind="t-fail", outcome="ok"
+        ) == 1
+        assert metrics.counter_value(
+            "fabric_tasks", kind="t-fail", outcome="failed"
+        ) == 1
+        hist = metrics.histogram("fabric_task_seconds", kind="t-fail")
+        assert hist.count == 2
+
+    def test_tracer_gets_one_span_per_task(self):
+        tracer = Tracer()
+        specs = [TaskSpec("t-echo", (str(i),)) for i in range(3)]
+        run_tasks(specs, jobs=1, tracer=tracer)
+        spans = [s for s in tracer.spans if s.name == "task:t-echo"]
+        assert len(spans) == 3
+        assert all(s.args["outcome"] == "ok" for s in spans)
+        assert all(s.args["pid"] == os.getpid() for s in spans)

@@ -162,3 +162,57 @@ class TestCoverage:
         assert rc2 == rc
         if rc:
             assert "newly dead" in capsys.readouterr().out
+
+
+class TestFabricOptions:
+    """--jobs/--cache plumbing and the cache subcommand."""
+
+    def test_coverage_jobs_output_is_identical(self, capsys):
+        main(["coverage", "--target", "arm-neon"])
+        serial = capsys.readouterr().out
+        main(["coverage", "--target", "arm-neon", "--jobs", "2"])
+        assert capsys.readouterr().out == serial
+
+    def test_coverage_cache_dir_warm_run(self, tmp_path, capsys):
+        root = str(tmp_path / "cache")
+        main(["coverage", "--target", "arm-neon", "--cache-dir", root])
+        first = capsys.readouterr().out
+        main(["coverage", "--target", "arm-neon", "--cache-dir", root])
+        assert capsys.readouterr().out == first
+        import os
+
+        assert os.path.isdir(root)
+
+    def test_no_cache_wins(self, tmp_path, capsys):
+        root = str(tmp_path / "cache")
+        main(["coverage", "--target", "arm-neon", "--cache-dir", root,
+              "--no-cache"])
+        capsys.readouterr()
+        import os
+
+        assert not os.path.exists(root)
+
+    def test_cache_stats_and_clear(self, tmp_path, capsys):
+        root = str(tmp_path / "cache")
+        main(["coverage", "--target", "arm-neon", "--cache-dir", root])
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", root]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 16" in out and "coverage" in out
+        assert main(["cache", "clear", "--cache-dir", root]) == 0
+        assert "removed 16 entries" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", root]) == 0
+        assert "entries: 0" in capsys.readouterr().out
+
+    def test_cache_fingerprint_is_stable(self, capsys):
+        assert main(["cache", "fingerprint"]) == 0
+        first = capsys.readouterr().out.strip()
+        assert main(["cache", "fingerprint"]) == 0
+        assert capsys.readouterr().out.strip() == first
+        assert len(first) == 64 and int(first, 16) >= 0
+
+    def test_rules_verify_jobs_output_is_identical(self, capsys):
+        main(["rules", "--verify"])
+        serial = capsys.readouterr().out
+        main(["rules", "--verify", "--jobs", "2"])
+        assert capsys.readouterr().out == serial
