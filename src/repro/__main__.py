@@ -33,6 +33,7 @@ import argparse
 import sys
 
 from . import targets as T
+from .lifting import LIFT_STRATEGIES
 from .passes import PassVerificationError
 from .pipeline import (
     LLVMCompileError,
@@ -41,6 +42,16 @@ from .pipeline import (
     rake_compile,
 )
 from .workloads import WORKLOADS, by_name
+
+
+def _add_lift_strategy_arg(p) -> None:
+    """``--lift-strategy`` for commands that run the pitchfork pipeline."""
+    p.add_argument("--lift-strategy", choices=LIFT_STRATEGIES,
+                   default="greedy", dest="lift_strategy",
+                   help="lift search: 'greedy' (the §3.2 TRS, default) "
+                        "or 'egraph' (equality saturation + lowest-"
+                        "cost extraction; never costlier in modelled "
+                        "cycles)")
 
 
 def _add_fabric_args(p) -> None:
@@ -117,6 +128,7 @@ def cmd_compile(args) -> int:
             pf = pitchfork_compile(
                 wl.expr, target, var_bounds=wl.var_bounds, trace=obs,
                 verify_each=args.verify_each,
+                lift_strategy=args.lift_strategy,
             )
         except PassVerificationError as exc:
             print(f"VERIFY-EACH FAILED on {target.name}: {exc}",
@@ -184,7 +196,8 @@ def cmd_evaluate(args) -> int:
         from .evaluation import run_runtime_evaluation
 
         ev = run_runtime_evaluation(
-            with_rake=not args.no_rake, jobs=jobs, cache=cache
+            with_rake=not args.no_rake, jobs=jobs, cache=cache,
+            lift_strategy=args.lift_strategy,
         )
         print(ev.format_table())
     elif args.figure == "fig6":
@@ -192,7 +205,8 @@ def cmd_evaluate(args) -> int:
 
         print(
             run_compile_time_evaluation(
-                repeats=args.repeats, jobs=jobs
+                repeats=args.repeats, jobs=jobs,
+                lift_strategy=args.lift_strategy,
             ).format_table()
         )
     elif args.figure == "fig7":
@@ -283,7 +297,8 @@ def cmd_coverage(args) -> int:
 
     jobs, cache = _fabric_from_args(args)
     report = run_coverage(
-        targets=_target_list(args.target), jobs=jobs, cache=cache
+        targets=_target_list(args.target), jobs=jobs, cache=cache,
+        lift_strategy=args.lift_strategy,
     )
     print(report.format_table(verbose=args.verbose))
     if args.json:
@@ -459,6 +474,7 @@ def main(argv=None) -> int:
                    help="validate IR well-formedness after every pass; "
                         "a violation names the offending pass and "
                         "exits non-zero")
+    _add_lift_strategy_arg(p)
     p.set_defaults(fn=cmd_compile)
 
     p = sub.add_parser("evaluate", help="regenerate a paper figure")
@@ -467,6 +483,7 @@ def main(argv=None) -> int:
     p.add_argument("--no-rake", action="store_true")
     p.add_argument("--repeats", type=int, default=3)
     p.add_argument("--write", help="write the report to a file")
+    _add_lift_strategy_arg(p)
     _add_fabric_args(p)
     p.set_defaults(fn=cmd_evaluate)
 
@@ -493,6 +510,7 @@ def main(argv=None) -> int:
                    help="known-dead rule names (one per line); exit "
                         "non-zero only for dead hand-written rules NOT "
                         "in this file (CI ratchet)")
+    _add_lift_strategy_arg(p)
     _add_fabric_args(p)
     p.set_defaults(fn=cmd_coverage)
 

@@ -147,13 +147,21 @@ def _timed_best_of(fn, repeats: int) -> float:
 
 
 def measure_one(
-    wl: Workload, target: Target, repeats: int = 3
+    wl: Workload,
+    target: Target,
+    repeats: int = 3,
+    lift_strategy: str = "greedy",
 ) -> CompileTimeResult:
     """Best-of-N wall-clock compile times for both flows on one case."""
     last_stats: List[Optional[CompileStats]] = [None]
 
     def do_pf():
-        prog = pitchfork_compile(wl.expr, target, var_bounds=wl.var_bounds)
+        prog = pitchfork_compile(
+            wl.expr,
+            target,
+            var_bounds=wl.var_bounds,
+            lift_strategy=lift_strategy,
+        )
         last_stats[0] = prog.stats
 
     def do_llvm():
@@ -178,6 +186,7 @@ def run_compile_time_evaluation(
     targets: Optional[List[Target]] = None,
     repeats: int = 3,
     jobs: int = 1,
+    lift_strategy: str = "greedy",
 ) -> CompileTimeEvaluation:
     """Run the Figure 6 compile-time sweep.
 
@@ -193,7 +202,11 @@ def run_compile_time_evaluation(
         wls = [w for w in wls if w.name in set(workload_names)]
     tgts = targets if targets is not None else [X86, ARM, HVX]
     specs = [
-        TaskSpec("compile-time", key=(wl.name, tgt.name), params=(repeats,))
+        TaskSpec(
+            "compile-time",
+            key=(wl.name, tgt.name),
+            params=(repeats, lift_strategy),
+        )
         for wl in wls
         for tgt in tgts
     ]

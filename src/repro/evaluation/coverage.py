@@ -157,6 +157,7 @@ def run_coverage(
     jobs: int = 1,
     cache=None,
     tracer=None,
+    lift_strategy: str = "greedy",
 ) -> CoverageReport:
     """Compile the suite with rule telemetry on; tabulate per-rule fires.
 
@@ -176,7 +177,11 @@ def run_coverage(
     tgts = list(targets) if targets is not None else list(PAPER_TARGETS)
 
     specs = [
-        TaskSpec("coverage", key=(wl.name, t.name), params=(use_synthesized,))
+        TaskSpec(
+            "coverage",
+            key=(wl.name, t.name),
+            params=(use_synthesized, lift_strategy),
+        )
         for wl in wls
         for t in tgts
     ]

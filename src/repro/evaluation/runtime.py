@@ -145,6 +145,7 @@ def run_one(
     verify_lanes: int = 32,
     leave_one_out: bool = True,
     verify_rounds: int = 3,
+    lift_strategy: str = "greedy",
 ) -> BenchmarkResult:
     """Compile one benchmark on one target with all compilers + verify.
 
@@ -154,7 +155,8 @@ def run_one(
     """
     exclude = {f"synth:{wl.name}"} if leave_one_out else set()
     pf = pitchfork_compile(
-        wl.expr, target, var_bounds=wl.var_bounds, exclude_sources=exclude
+        wl.expr, target, var_bounds=wl.var_bounds, exclude_sources=exclude,
+        lift_strategy=lift_strategy,
     )
     llvm, substituted = _compile_llvm(wl, target)
 
@@ -196,13 +198,14 @@ def run_runtime_evaluation(
     with_rake: bool = True,
     jobs: int = 1,
     cache=None,
+    lift_strategy: str = "greedy",
 ) -> RuntimeEvaluation:
     """Regenerate the full Figure 5 dataset.
 
     Runs on the execution fabric: one task per (workload, target) cell.
     Modelled cycles are deterministic, so cells are cacheable — keyed by
     the workload expression and the exact (leave-one-out filtered)
-    rulebase fingerprint.
+    rulebase fingerprint plus the lift strategy.
     """
     from ..fabric import TaskSpec, run_tasks
 
@@ -211,7 +214,11 @@ def run_runtime_evaluation(
         wls = [w for w in wls if w.name in set(workload_names)]
     tgts = targets if targets is not None else [X86, ARM, HVX]
     specs = [
-        TaskSpec("runtime", key=(wl.name, tgt.name), params=(with_rake, True))
+        TaskSpec(
+            "runtime",
+            key=(wl.name, tgt.name),
+            params=(with_rake, True, lift_strategy),
+        )
         for wl in wls
         for tgt in tgts
     ]

@@ -176,6 +176,7 @@ def pipeline_rules_fingerprint(
     target_name: Optional[str],
     use_synthesized: bool = True,
     exclude_sources: Sequence[str] = (),
+    lift_strategy: str = "greedy",
 ) -> str:
     """Fingerprint of every rule a pitchfork compile for ``target_name``
     can possibly apply: the lifting rules plus the target's lowering
@@ -183,6 +184,10 @@ def pipeline_rules_fingerprint(
 
     ``target_name=None`` fingerprints the lifting rules only (for jobs
     that never lower, e.g. lift-rule verification).
+
+    ``lift_strategy`` is a semantic input: greedy and e-graph lifts can
+    produce different programs from identical rules, so a cached greedy
+    result must never be served to an e-graph request (or vice versa).
     """
     from ..lifting import HAND_RULES, SYNTHESIZED_RULES
 
@@ -207,5 +212,6 @@ def pipeline_rules_fingerprint(
         str(target_name),
         str(bool(use_synthesized)),
         repr(sorted(excluded)),
+        str(lift_strategy),
         rulebase_fingerprint(rules),
     )

@@ -62,15 +62,24 @@ def resolve_rule(label: str, rule_name: str):
 # ----------------------------------------------------------------------
 # coverage — one (workload, target) compile with rule telemetry
 # ----------------------------------------------------------------------
+def _strategy_param(rest) -> str:
+    """Params tuples grew a trailing lift-strategy member in PR 6;
+    older specs (and tests) omit it, meaning greedy."""
+    return rest[0] if rest else "greedy"
+
+
 def _coverage_parts(spec: TaskSpec) -> Tuple[str, ...]:
     from ..workloads import by_name
 
     wl_name, target_name = spec.key
-    (use_synthesized,) = spec.params
+    use_synthesized, *rest = spec.params
+    lift_strategy = _strategy_param(rest)
     return (
         expr_fingerprint(by_name(wl_name).expr),
         target_name,
-        pipeline_rules_fingerprint(target_name, use_synthesized),
+        pipeline_rules_fingerprint(
+            target_name, use_synthesized, lift_strategy=lift_strategy
+        ),
     )
 
 
@@ -84,7 +93,8 @@ def _run_coverage_cell(spec: TaskSpec) -> dict:
     from ..workloads import by_name
 
     wl_name, target_name = spec.key
-    (use_synthesized,) = spec.params
+    use_synthesized, *rest = spec.params
+    lift_strategy = _strategy_param(rest)
     wl = by_name(wl_name)
     registry = MetricsRegistry()
     pitchfork_compile(
@@ -93,6 +103,7 @@ def _run_coverage_cell(spec: TaskSpec) -> dict:
         var_bounds=wl.var_bounds,
         use_synthesized=use_synthesized,
         trace=Observation.quiet(metrics=registry),
+        lift_strategy=lift_strategy,
     )
     return registry.to_dict()
 
@@ -143,9 +154,12 @@ def _run_compile_time_cell(spec: TaskSpec) -> dict:
     from ..workloads import by_name
 
     wl_name, target_name = spec.key
-    (repeats,) = spec.params
+    repeats, *rest = spec.params
     r = measure_one(
-        by_name(wl_name), target_by_name(target_name), repeats=repeats
+        by_name(wl_name),
+        target_by_name(target_name),
+        repeats=repeats,
+        lift_strategy=_strategy_param(rest),
     )
     return {
         "llvm_seconds": r.llvm_seconds,
@@ -161,14 +175,18 @@ def _runtime_parts(spec: TaskSpec) -> Tuple[str, ...]:
     from ..workloads import by_name
 
     wl_name, target_name = spec.key
-    with_rake, leave_one_out = spec.params
+    with_rake, leave_one_out, *rest = spec.params
+    lift_strategy = _strategy_param(rest)
     wl = by_name(wl_name)
     exclude = (f"synth:{wl.name}",) if leave_one_out else ()
     return (
         expr_fingerprint(wl.expr),
         target_name,
         pipeline_rules_fingerprint(
-            target_name, True, exclude_sources=exclude
+            target_name,
+            True,
+            exclude_sources=exclude,
+            lift_strategy=lift_strategy,
         ),
     )
 
@@ -180,12 +198,13 @@ def _run_runtime_cell(spec: TaskSpec) -> dict:
     from ..workloads import by_name
 
     wl_name, target_name = spec.key
-    with_rake, leave_one_out = spec.params
+    with_rake, leave_one_out, *rest = spec.params
     r = run_one(
         by_name(wl_name),
         target_by_name(target_name),
         with_rake=with_rake,
         leave_one_out=leave_one_out,
+        lift_strategy=_strategy_param(rest),
     )
     return {
         "llvm_cycles": r.llvm_cycles,

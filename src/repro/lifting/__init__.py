@@ -1,6 +1,12 @@
 """The target-agnostic lifting phase: integer vector IR -> FPIR."""
 
 from .canonicalize import canonicalize, fold_constants  # noqa: F401
-from .lifter import Lifter, lift  # noqa: F401
+from .lifter import (  # noqa: F401
+    EGraphLiftPass,
+    LIFT_STRATEGIES,
+    Lifter,
+    LiftPass,
+    lift,
+)
 from .rules import HAND_RULES  # noqa: F401
 from .synthesized import SYNTHESIZED_RULES  # noqa: F401

@@ -15,12 +15,16 @@ from typing import Iterable, List, Optional
 from ..analysis import BoundsAnalyzer, BoundsContext
 from ..ir.expr import Expr
 from ..passes import Pass, PassContext
+from ..trs.egraph import EGraphLifter
 from ..trs.rewriter import RewriteEngine, RewriteResult
 from ..trs.rule import Rule
 from .canonicalize import canonicalize
 from .rules import HAND_RULES
 
-__all__ = ["Lifter", "LiftPass", "lift"]
+__all__ = ["Lifter", "LiftPass", "EGraphLiftPass", "lift", "LIFT_STRATEGIES"]
+
+#: the pluggable lift strategies (CLI ``--lift-strategy`` choices)
+LIFT_STRATEGIES = ("greedy", "egraph")
 
 
 class Lifter:
@@ -34,6 +38,10 @@ class Lifter:
     exclude_sources:
         provenance tags to drop, e.g. ``{"synth:sobel3x3"}`` for
         leave-one-out evaluation of the sobel3x3 benchmark.
+    strategy:
+        ``"greedy"`` (default) — the §3.2 ordered bottom-up TRS;
+        ``"egraph"`` — greedy-anchored equality saturation with
+        lowest-cost extraction (:class:`~repro.trs.egraph.EGraphLifter`).
     """
 
     def __init__(
@@ -41,7 +49,13 @@ class Lifter:
         use_synthesized: bool = True,
         exclude_sources: Iterable[str] = (),
         extra_rules: Iterable[Rule] = (),
+        strategy: str = "greedy",
     ):
+        if strategy not in LIFT_STRATEGIES:
+            raise ValueError(
+                f"unknown lift strategy {strategy!r}; "
+                f"expected one of {LIFT_STRATEGIES}"
+            )
         # Filters apply to the checked-in rule sets; explicitly-passed
         # extra_rules (e.g. loaded from a rule file, or freshly learned)
         # are the caller's responsibility.
@@ -54,8 +68,12 @@ class Lifter:
         if excluded:
             builtin = [r for r in builtin if not r.excluded_by(excluded)]
         rules = builtin + list(extra_rules)
+        self.strategy = strategy
         self.engine = RewriteEngine(
             rules, require_cost_decrease=True, name="lift"
+        )
+        self._egraph = (
+            EGraphLifter(self.engine) if strategy == "egraph" else None
         )
 
     def rewrite(
@@ -63,13 +81,19 @@ class Lifter:
         expr: Expr,
         analyzer: Optional[BoundsAnalyzer] = None,
         obs=None,
+        scorer=None,
     ) -> RewriteResult:
         """Rewrite an already-canonicalized expression to the FPIR
         fixed point (the pass pipeline canonicalizes separately).
 
         ``obs`` is an optional :class:`~repro.observe.Observation`
-        receiving rule-fired telemetry and provenance."""
+        receiving rule-fired telemetry and provenance.  ``scorer`` (only
+        meaningful with ``strategy="egraph"``) ranks extraction
+        candidates — the pipeline wires in lowered-cycle counting; see
+        :class:`~repro.trs.egraph.EGraphLifter`."""
         ctx = BoundsContext(analyzer if analyzer is not None else BoundsAnalyzer())
+        if self._egraph is not None:
+            return self._egraph.rewrite(expr, ctx, obs=obs, scorer=scorer)
         return self.engine.rewrite(expr, ctx, obs=obs)
 
     def lift(
@@ -99,6 +123,54 @@ class LiftPass(Pass):
         )
         ctx.extras["lifted"] = result.expr
         ctx.extras["lift_rules_used"] = result.rules_used
+        ctx.extras["lift_strategy"] = self.lifter.strategy
+        ctx.rewrites += len(result.applications)
+        return result.expr
+
+
+class EGraphLiftPass(LiftPass):
+    """Lift via equality saturation + lowest-cost extraction.
+
+    Same pass name ("lift") and contract as :class:`LiftPass` — stats
+    tables and verify-each hooks treat it identically — but it requires a
+    :class:`Lifter` built with ``strategy="egraph"`` and additionally
+    exposes the saturation shape via ``ctx.extras["egraph"]``.
+
+    ``scorer(term, var_bounds)`` (optional) ranks extraction candidates;
+    the pipeline passes its lowered-simulated-cycles scorer so extraction
+    picks the candidate that actually lowers best, with the greedy result
+    as the never-worse anchor.
+    """
+
+    def __init__(self, lifter: Lifter, scorer=None):
+        if lifter.strategy != "egraph":
+            raise ValueError(
+                "EGraphLiftPass requires a Lifter(strategy='egraph')"
+            )
+        super().__init__(lifter)
+        self.scorer = scorer
+
+    def run(self, expr: Expr, ctx: PassContext) -> Expr:
+        scorer = None
+        if self.scorer is not None:
+            bounds = ctx.var_bounds
+            scorer = lambda term: self.scorer(term, bounds)  # noqa: E731
+        result = self.lifter.rewrite(
+            expr, BoundsAnalyzer(ctx.var_bounds), obs=ctx.observe,
+            scorer=scorer,
+        )
+        ctx.extras["lifted"] = result.expr
+        ctx.extras["lift_rules_used"] = result.rules_used
+        ctx.extras["lift_strategy"] = "egraph"
+        stats = getattr(result, "egraph", None)
+        if stats is not None:
+            ctx.extras["egraph"] = {
+                "iterations": stats.iterations,
+                "enodes": stats.enodes,
+                "eclasses": stats.eclasses,
+                "applications": stats.applications,
+                "saturated": stats.saturated,
+            }
         ctx.rewrites += len(result.applications)
         return result.expr
 

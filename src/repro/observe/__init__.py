@@ -6,8 +6,8 @@ Three cooperating primitives, bundled by :class:`Observation`:
   (compile → pass → rule application), exportable as Chrome-trace-viewer
   JSON (``chrome://tracing`` / Perfetto format);
 * :class:`~repro.observe.metrics.MetricsRegistry` — labelled counters and
-  histograms: per-rule fire counts, precheck hit/miss ratios, memo-cache
-  hits, rewrite iterations to fixpoint;
+  histograms: per-rule fire counts, rule-index hit/miss ratios, memo-cache
+  hits, rewrite iterations to fixpoint, e-graph saturation shape;
 * :class:`~repro.observe.provenance.Provenance` — a record of which
   rewrite-rule chain produced each node of the lowered program, so every
   :class:`~repro.pipeline.CompiledProgram` can answer "which rules emitted

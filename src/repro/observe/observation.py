@@ -2,7 +2,7 @@
 
 An :class:`Observation` is what the pipeline threads through its layers
 when the caller opts in (``pitchfork_compile(..., trace=obs)``): the
-rewriter reports rule firings and precheck outcomes into it, the pass
+rewriter reports rule firings and index hit/miss outcomes into it, the pass
 manager opens spans on its tracer, the lowerer tags expansion/residue
 provenance.  Passing ``None`` (the default) keeps every hot path on its
 uninstrumented branch — the observability overhead contract.
@@ -99,12 +99,45 @@ class Observation:
         self.metrics.counter("expansion", kind=kind, op=name).inc()
         self.provenance.record(kind, name, "builtin", before, after)
 
-    def precheck_counters(self, phase: str) -> Dict[bool, Counter]:
-        """``{True: passes, False: skips}`` precheck counters for a phase."""
+    def index_counters(self, phase: str) -> Dict[bool, Counter]:
+        """``{True: hits, False: misses}`` rule-index counters for a phase.
+
+        A *hit* is a candidate the discrimination-tree index passed to the
+        full matcher; a *miss* is a rule it pruned without a match attempt
+        (relative to the naive scan over the whole rulebase).  Together
+        they total rules × consulted nodes, so ``misses / (hits+misses)``
+        is the fraction of match attempts the index avoided.
+        """
         return {
-            True: self.metrics.counter("precheck", phase=phase, outcome="pass"),
-            False: self.metrics.counter("precheck", phase=phase, outcome="skip"),
+            True: self.metrics.counter("match_index", phase=phase, outcome="hit"),
+            False: self.metrics.counter("match_index", phase=phase, outcome="miss"),
         }
+
+    def egraph_stats(
+        self,
+        phase: str,
+        iterations: int,
+        enodes: int,
+        eclasses: int,
+        applications: int,
+        saturated: bool,
+    ) -> None:
+        """Record one e-graph saturation session's shape."""
+        self.metrics.histogram("egraph_iterations", phase=phase).observe(
+            iterations
+        )
+        self.metrics.histogram("egraph_enodes", phase=phase).observe(enodes)
+        self.metrics.histogram("egraph_eclasses", phase=phase).observe(
+            eclasses
+        )
+        self.metrics.counter(
+            "egraph_applications", phase=phase
+        ).value += applications
+        self.metrics.counter(
+            "egraph_stop",
+            phase=phase,
+            outcome="saturated" if saturated else "budget",
+        ).inc()
 
     def fixpoint(self, phase: str, passes: int) -> None:
         """Record how many fixpoint passes one rewrite session took."""

@@ -24,7 +24,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 from .analysis import BoundsAnalyzer, Interval
 from .ir.expr import Expr
 from .lifting.canonicalize import CanonicalizePass
-from .lifting.lifter import Lifter, LiftPass
+from .lifting.lifter import EGraphLiftPass, LIFT_STRATEGIES, Lifter, LiftPass
 from .machine.llvm_baseline import LLVMBaseline, LLVMCompileError
 from .machine.lowerer import Lowerer, LowerPass
 from .machine.backend_passes import BackendPass, run_backend_passes
@@ -136,21 +136,29 @@ class PitchforkCompiler:
         use_synthesized: bool = True,
         exclude_sources: Iterable[str] = (),
         verify_each: bool = False,
+        lift_strategy: str = "greedy",
     ):
         self.target = target
+        self.lift_strategy = lift_strategy
         self.lifter = Lifter(
             use_synthesized=use_synthesized,
             exclude_sources=exclude_sources,
+            strategy=lift_strategy,
         )
         self.lowerer = Lowerer(
             target,
             use_synthesized=use_synthesized,
             exclude_sources=exclude_sources,
         )
+        lift_pass = (
+            EGraphLiftPass(self.lifter, scorer=self._cycle_scorer)
+            if lift_strategy == "egraph"
+            else LiftPass(self.lifter)
+        )
         self.passes = PassManager(
             [
                 CanonicalizePass(),
-                LiftPass(self.lifter),
+                lift_pass,
                 LowerPass(self.lowerer),
                 BackendPass(),  # shared downstream LLVM work (§5.2)
             ],
@@ -158,6 +166,21 @@ class PitchforkCompiler:
             # pass (raises PassVerificationError naming the bad pass).
             verify_each=verify_each,
         )
+
+    def _cycle_scorer(self, term, var_bounds):
+        """Score one lift-extraction candidate: simulated cycles of its
+        lowering for this compiler's target (None if it cannot lower).
+
+        This is what makes the e-graph strategy target-aware: the
+        target-agnostic cost is only a proxy, so the K cheapest extracted
+        forms are judged by the cycle model the evaluation actually
+        reports, with the greedy form as the never-worse anchor.
+        """
+        try:
+            lowered = self.lowerer.lower(term, BoundsAnalyzer(var_bounds))
+        except Exception:
+            return None
+        return cost_cycles(lowered, self.target).total
 
     def compile(
         self,
@@ -211,6 +234,7 @@ def pitchfork_compile(
     exclude_sources: Iterable[str] = (),
     trace: Optional[Observation] = None,
     verify_each: bool = False,
+    lift_strategy: str = "greedy",
 ) -> CompiledProgram:
     """One-shot PITCHFORK compilation.
 
@@ -222,11 +246,18 @@ def pitchfork_compile(
     provenance) — see :meth:`PitchforkCompiler.compile`.  ``verify_each``
     re-checks IR well-formedness after every pass and raises
     :class:`~repro.passes.PassVerificationError` naming the pass that
-    broke the tree.
+    broke the tree.  ``lift_strategy`` selects the lift search:
+    ``"greedy"`` (the §3.2 TRS, default) or ``"egraph"`` (equality
+    saturation + lowest-cost extraction, never costlier than greedy).
     """
+    if lift_strategy not in LIFT_STRATEGIES:
+        raise ValueError(
+            f"unknown lift strategy {lift_strategy!r}; "
+            f"expected one of {LIFT_STRATEGIES}"
+        )
     key = (
         target.name, use_synthesized, frozenset(exclude_sources),
-        verify_each,
+        verify_each, lift_strategy,
     )
     compiler = _COMPILER_CACHE.get(key)
     if compiler is None:
@@ -235,6 +266,7 @@ def pitchfork_compile(
             use_synthesized=use_synthesized,
             exclude_sources=exclude_sources,
             verify_each=verify_each,
+            lift_strategy=lift_strategy,
         )
         _COMPILER_CACHE[key] = compiler
     return compiler.compile(expr, var_bounds, trace=trace)

@@ -1,6 +1,9 @@
-"""Term-rewriting engine: patterns, matching, rules, costs, rewriter."""
+"""Term-rewriting engine: patterns, matching, rules, costs, rewriter,
+rule index, and the e-graph lift strategy."""
 
 from .costs import Cost, OP_RANK, cost  # noqa: F401
+from .egraph import EGraph, EGraphLifter, SaturationStats  # noqa: F401
+from .index import RuleIndex  # noqa: F401
 from .matcher import Match, instantiate, match  # noqa: F401
 from .pattern import (  # noqa: F401
     ConstWild,

@@ -1,0 +1,556 @@
+"""E-graph lifting: equality saturation + lowest-cost extraction.
+
+The greedy TRS of §3.2 commits to the first (cheapest-output) rule at
+every node and never backtracks, so it can strand an expression in a
+local cost minimum: firing a small rule at a child may destroy the larger
+pattern a later rule needed.  This module adds an alternative lift
+strategy that keeps *every* discovered form:
+
+* an **e-graph** stores equivalence classes (e-classes) of terms; each
+  e-class holds e-nodes — an operator plus child e-class ids — deduped by
+  a hash-cons keyed on canonical child ids (congruence closure via a
+  rebuild loop after unions);
+* **saturation** repeatedly concretizes every e-node with its children's
+  current best representatives, runs the rule index over the resulting
+  term, and unions each rewrite output into the e-node's class.  No cost
+  gate is applied during exploration (that is the point — locally
+  worsening steps are allowed); termination comes from rule/iteration/
+  node budgets instead of well-foundedness;
+* **extraction** then selects the lowest-cost concrete term per e-class
+  under the existing lexicographic target-agnostic cost model, by
+  fixed-point relaxation (sound for this model because lexicographic
+  order over additive components is translation-invariant, so per-child
+  minima compose into parent minima).  :meth:`EGraph.top_terms`
+  generalizes this to the K cheapest distinct terms per class, which
+  gives the lifter a small *candidate set* instead of a single answer.
+
+The strategy is *anchored to greedy*: the greedy fixed point is seeded
+into the e-graph and unioned with the root class before saturation, so
+the extracted cost is never above greedy's.  Without a scorer, the
+greedy term is returned unless extraction found something strictly
+cheaper under the target-agnostic model.  With a ``scorer`` (the
+pipeline wires in "lower the candidate and count simulated cycles"),
+the candidate set is ranked by ``(score, agnostic cost, greedy-first)``
+— so the result is never worse than greedy in scored cycles, never
+worse in agnostic cost on a cycle tie, and byte-identical to greedy
+when nothing strictly better exists.  This is where the e-graph pays
+off: the agnostic cost is only a proxy, and keeping every equal-or-
+near-cost form alive until a target model can judge them is exactly
+what the greedy TRS cannot do.
+
+Matching is representative-based (each e-node is concretized once per
+iteration with best child terms) rather than full e-matching over the
+cross-product of class members; this is deliberately incomplete but
+deterministic and cheap, and in practice finds the cross-child-ordering
+escapes that greedy misses.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..ir.expr import Expr
+from .costs import Cost, cost
+from .index import RuleIndex
+from .rule import Rule, RuleContext
+
+__all__ = ["EGraph", "EGraphLifter", "SaturationStats"]
+
+
+class _ENode:
+    """One operator application over e-class ids.
+
+    ``template`` is the concrete :class:`Expr` that first produced this
+    e-node; rebuilding a term for this node is
+    ``template.with_children(best child terms)``, which also carries the
+    non-child fields (types, constant values, var names) along.
+    ``reason`` records the rule application that introduced the node
+    (``None`` for seeded nodes) as ``(rule, before, after)``.
+    """
+
+    __slots__ = ("template", "child_cids", "cid", "reason")
+
+    def __init__(
+        self,
+        template: Expr,
+        child_cids: Tuple[int, ...],
+        cid: int,
+        reason: Optional[Tuple[Rule, Expr, Expr]],
+    ):
+        self.template = template
+        self.child_cids = child_cids
+        self.cid = cid
+        self.reason = reason
+
+
+class SaturationStats:
+    """Shape of one saturation run (for telemetry and tests)."""
+
+    __slots__ = ("iterations", "enodes", "eclasses", "applications", "saturated")
+
+    def __init__(self, iterations, enodes, eclasses, applications, saturated):
+        self.iterations = iterations
+        self.enodes = enodes
+        self.eclasses = eclasses
+        self.applications = applications
+        self.saturated = saturated
+
+
+class EGraph:
+    """E-classes over hash-consed e-nodes with congruence closure.
+
+    Class ids are small ints; union keeps the *smaller* root id as the
+    representative, which together with in-order e-node iteration makes
+    every operation deterministic (no object-identity or hash-order
+    dependence).
+    """
+
+    def __init__(self) -> None:
+        self._parent: List[int] = []
+        self._enodes: List[_ENode] = []
+        #: canonical key -> e-node index
+        self._hashcons: Dict[tuple, int] = {}
+        #: interned Expr -> cid at the time it was added (find() refreshes)
+        self._expr_cid: Dict[Expr, int] = {}
+
+    # -- union-find ----------------------------------------------------
+    def find(self, cid: int) -> int:
+        parent = self._parent
+        while parent[cid] != cid:
+            parent[cid] = parent[parent[cid]]
+            cid = parent[cid]
+        return cid
+
+    def union(self, a: int, b: int) -> int:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if rb < ra:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        return ra
+
+    # -- construction --------------------------------------------------
+    def _canon_key(self, enode: _ENode) -> tuple:
+        t = enode.template
+        kids = iter(enode.child_cids)
+        parts: List[object] = [type(t)]
+        for f in t._fields:
+            v = getattr(t, f)
+            if isinstance(v, Expr):
+                parts.append(self.find(next(kids)))
+            else:
+                parts.append(("v", v))
+        return tuple(parts)
+
+    def add(
+        self,
+        expr: Expr,
+        reason: Optional[Tuple[Rule, Expr, Expr]] = None,
+    ) -> int:
+        """Insert ``expr`` (recursively); returns its e-class id."""
+        cached = self._expr_cid.get(expr)
+        if cached is not None:
+            return self.find(cached)
+        child_cids = tuple(self.add(c) for c in expr.children)
+        probe = _ENode(expr, child_cids, -1, reason)
+        key = self._canon_key(probe)
+        nid = self._hashcons.get(key)
+        if nid is not None:
+            cid = self.find(self._enodes[nid].cid)
+        else:
+            cid = len(self._parent)
+            self._parent.append(cid)
+            probe.cid = cid
+            self._enodes.append(probe)
+            self._hashcons[key] = len(self._enodes) - 1
+        self._expr_cid[expr] = cid
+        return cid
+
+    def rebuild(self) -> None:
+        """Restore congruence: e-nodes whose canonical keys collide after
+        unions belong to the same class; loop until stable."""
+        while True:
+            merged = False
+            fresh: Dict[tuple, int] = {}
+            for nid, en in enumerate(self._enodes):
+                key = self._canon_key(en)
+                other = fresh.get(key)
+                if other is None:
+                    fresh[key] = nid
+                    continue
+                a = self.find(self._enodes[other].cid)
+                b = self.find(en.cid)
+                if a != b:
+                    self.union(a, b)
+                    merged = True
+            self._hashcons = fresh
+            if not merged:
+                return
+
+    # -- analysis ------------------------------------------------------
+    def n_classes(self) -> int:
+        return len({self.find(c) for c in range(len(self._parent))})
+
+    def best_terms(
+        self, cost_fn: Callable[[Expr], Cost] = cost
+    ) -> Dict[int, Tuple[Cost, Expr, int]]:
+        """Lowest-cost concrete term per e-class, by fixed-point
+        relaxation; maps root cid -> (cost, term, e-node index)."""
+        best: Dict[int, Tuple[Cost, Expr, int]] = {}
+        changed = True
+        while changed:
+            changed = False
+            for nid, en in enumerate(self._enodes):
+                kids: List[Expr] = []
+                ok = True
+                for ccid in en.child_cids:
+                    b = best.get(self.find(ccid))
+                    if b is None:
+                        ok = False
+                        break
+                    kids.append(b[1])
+                if not ok:
+                    continue
+                term = (
+                    en.template
+                    if not en.child_cids
+                    else en.template.with_children(kids)
+                )
+                c = cost_fn(term)
+                cid = self.find(en.cid)
+                cur = best.get(cid)
+                if cur is None or c < cur[0]:
+                    best[cid] = (c, term, nid)
+                    changed = True
+        return best
+
+    def top_terms(
+        self,
+        k: int,
+        cost_fn: Callable[[Expr], Cost] = cost,
+        max_passes: int = 12,
+        max_combos: int = 24,
+    ) -> Tuple[Dict[int, List[Tuple[Cost, Expr]]], Dict[Expr, int]]:
+        """The K cheapest distinct concrete terms per e-class.
+
+        K-best relaxation: each pass concretizes every e-node with (a
+        bounded cross product of) its children's current K-best terms and
+        inserts any new term that beats a class's current K-th cost.
+        Returns ``(cid -> [(cost, term)] ascending, term -> e-node id)``
+        — the second map remembers which e-node built each term, so
+        :meth:`reasons_for_term` can attribute rule provenance.
+
+        New cost-equal terms stop entering once the K-th slot is filled
+        with a cheaper-or-equal cost, and cyclic derivations strictly grow
+        the node-count cost component, so the relaxation converges;
+        ``max_passes`` is a defensive cap only.
+        """
+        tops: Dict[int, List[Tuple[Cost, Expr]]] = {}
+        seen: Dict[int, set] = {}
+        builder: Dict[Expr, int] = {}
+
+        def insert(cid: int, term: Expr, nid: int) -> bool:
+            s = seen.setdefault(cid, set())
+            if term in s:
+                return False
+            c = cost_fn(term)
+            lst = tops.setdefault(cid, [])
+            if len(lst) >= k and not (c < lst[-1][0]):
+                return False
+            s.add(term)
+            builder.setdefault(term, nid)
+            lst.append((c, term))
+            lst.sort(key=lambda pair: pair[0])
+            del lst[k:]
+            return True
+
+        for _ in range(max_passes):
+            changed = False
+            for nid, en in enumerate(self._enodes):
+                cid = self.find(en.cid)
+                if not en.child_cids:
+                    if insert(cid, en.template, nid):
+                        changed = True
+                    continue
+                lists: List[List[Expr]] = []
+                ok = True
+                for ccid in en.child_cids:
+                    lst = tops.get(self.find(ccid))
+                    if not lst:
+                        ok = False
+                        break
+                    lists.append([t for _, t in lst])
+                if not ok:
+                    continue
+                combos = itertools.islice(
+                    itertools.product(*lists), max_combos
+                )
+                for combo in combos:
+                    term = en.template.with_children(list(combo))
+                    if insert(cid, term, nid):
+                        changed = True
+            if not changed:
+                break
+        return tops, builder
+
+    def reasons_on_path(
+        self, root: int, best: Dict[int, Tuple[Cost, Expr, int]]
+    ) -> List[Tuple[Rule, Expr, Expr]]:
+        """Rule applications that built the extracted term for ``root``:
+        the ``reason`` of every chosen e-node reachable from the root's
+        best choice, in deterministic (e-node id) order."""
+        seen = set()
+        reasons: List[Tuple[int, Tuple[Rule, Expr, Expr]]] = []
+        stack = [self.find(root)]
+        while stack:
+            cid = stack.pop()
+            if cid in seen:
+                continue
+            seen.add(cid)
+            b = best.get(cid)
+            if b is None:
+                continue
+            en = self._enodes[b[2]]
+            if en.reason is not None:
+                reasons.append((b[2], en.reason))
+            stack.extend(self.find(c) for c in en.child_cids)
+        reasons.sort(key=lambda pair: pair[0])
+        return [r for _, r in reasons]
+
+    def reasons_for_term(
+        self, term: Expr, builder: Dict[Expr, int]
+    ) -> List[Tuple[Rule, Expr, Expr]]:
+        """Rule applications behind a :meth:`top_terms` candidate: the
+        ``reason`` of the e-node that built each subterm, deduped, in
+        deterministic (e-node id) order."""
+        reasons: Dict[int, Tuple[Rule, Expr, Expr]] = {}
+        stack = [term]
+        visited = set()
+        while stack:
+            t = stack.pop()
+            if t in visited:
+                continue
+            visited.add(t)
+            nid = builder.get(t)
+            if nid is not None:
+                reason = self._enodes[nid].reason
+                if reason is not None:
+                    reasons[nid] = reason
+            stack.extend(t.children)
+        return [reasons[nid] for nid in sorted(reasons)]
+
+    # -- saturation ----------------------------------------------------
+    def saturate(
+        self,
+        index: RuleIndex,
+        ctx: Optional[RuleContext] = None,
+        max_iters: int = 6,
+        max_enodes: int = 3000,
+        max_apps: int = 12000,
+        cost_fn: Callable[[Expr], Cost] = cost,
+    ) -> SaturationStats:
+        """Explore with the rule index under budgets; no cost gating.
+
+        Each iteration concretizes every existing e-node with its
+        children's current best terms, applies every index candidate, and
+        unions the outputs in.  Stops when an iteration adds no new
+        equality (saturated) or when a budget trips.
+        """
+        ctx = ctx if ctx is not None else RuleContext()
+        apps = 0
+        saturated = False
+        iters = 0
+        for _ in range(max_iters):
+            iters += 1
+            changed = False
+            best = self.best_terms(cost_fn)
+            n_start = len(self._enodes)
+            exhausted = False
+            for nid in range(n_start):
+                en = self._enodes[nid]
+                kids: List[Expr] = []
+                ok = True
+                for ccid in en.child_cids:
+                    b = best.get(self.find(ccid))
+                    if b is None:
+                        ok = False
+                        break
+                    kids.append(b[1])
+                if not ok:
+                    continue
+                rep = (
+                    en.template
+                    if not en.child_cids
+                    else en.template.with_children(kids)
+                )
+                cid = self.find(en.cid)
+                # Match against the best-representative concretization
+                # *and* the e-node's original template: once a child
+                # class's best becomes the lifted form, parent patterns
+                # over the original child shape would otherwise never be
+                # tried again — the exact greedy local minimum this
+                # strategy exists to escape.
+                terms = (rep,) if rep is en.template else (rep, en.template)
+                for term in terms:
+                    for rule in index.candidates(term):
+                        out = rule.apply(term, ctx)
+                        if out is None:
+                            continue
+                        apps += 1
+                        out_cid = self.add(out, reason=(rule, term, out))
+                        if self.find(out_cid) != self.find(cid):
+                            self.union(cid, out_cid)
+                            changed = True
+                        if apps >= max_apps or len(self._enodes) >= max_enodes:
+                            exhausted = True
+                            break
+                    if exhausted:
+                        break
+                if exhausted:
+                    break
+            self.rebuild()
+            if exhausted:
+                break
+            if not changed:
+                saturated = True
+                break
+        return SaturationStats(
+            iterations=iters,
+            enodes=len(self._enodes),
+            eclasses=self.n_classes(),
+            applications=apps,
+            saturated=saturated,
+        )
+
+
+class EGraphLifter:
+    """Greedy-anchored equality-saturation lift over an existing engine.
+
+    Runs the engine's greedy rewrite first (identical to the default
+    strategy, including its trace), seeds the e-graph with both the
+    original and the greedy fixed point, saturates under budgets, and
+    extracts:
+
+    * without ``scorer``: returns the greedy term unless extraction found
+      a term with *strictly* lower target-agnostic cost;
+    * with ``scorer`` (term -> comparable, lower is better; ``None`` for
+      un-scorable candidates): the ``extract_k`` cheapest distinct root
+      candidates are ranked by ``(score, agnostic cost)`` with greedy
+      winning every tie — never worse than greedy under the scorer, never
+      agnostically costlier on a score tie, byte-identical when nothing
+      strictly better exists.
+    """
+
+    def __init__(
+        self,
+        engine,
+        max_iters: int = 6,
+        max_enodes: int = 3000,
+        max_apps: int = 12000,
+        extract_k: int = 8,
+    ):
+        self.engine = engine
+        self.max_iters = max_iters
+        self.max_enodes = max_enodes
+        self.max_apps = max_apps
+        self.extract_k = extract_k
+
+    def rewrite(
+        self,
+        expr: Expr,
+        ctx: Optional[RuleContext] = None,
+        obs=None,
+        scorer: Optional[Callable[[Expr], object]] = None,
+    ):
+        from .rewriter import RewriteResult
+
+        greedy = self.engine.rewrite(expr, ctx, obs=obs)
+        cost_fn = self.engine.cost_fn
+
+        graph = EGraph()
+        root = graph.add(expr)
+        graph.union(root, graph.add(greedy.expr))
+        graph.rebuild()
+        stats = graph.saturate(
+            self.engine.index,
+            ctx,
+            max_iters=self.max_iters,
+            max_enodes=self.max_enodes,
+            max_apps=self.max_apps,
+            cost_fn=cost_fn,
+        )
+        greedy_cost = cost_fn(greedy.expr)
+
+        if obs is not None:
+            obs.egraph_stats(
+                self.engine.name,
+                iterations=stats.iterations,
+                enodes=stats.enodes,
+                eclasses=stats.eclasses,
+                applications=stats.applications,
+                saturated=stats.saturated,
+            )
+
+        if scorer is None:
+            best = graph.best_terms(cost_fn)
+            chosen = best.get(graph.find(root))
+            if chosen is None or not (chosen[0] < greedy_cost):
+                return self._result(greedy.expr, greedy.applications, stats)
+            return self._result(
+                chosen[1],
+                list(greedy.applications)
+                + self._record(graph.reasons_on_path(root, best), obs),
+                stats,
+            )
+
+        tops, builder = graph.top_terms(self.extract_k, cost_fn)
+        candidates = [
+            term
+            for _, term in tops.get(graph.find(root), [])
+            if term is not greedy.expr
+        ]
+        # Greedy is the anchor: a candidate must strictly beat it on the
+        # scorer, or tie the scorer with strictly lower agnostic cost.
+        greedy_score = scorer(greedy.expr)
+        if greedy_score is None:
+            return self._result(greedy.expr, greedy.applications, stats)
+        best_term = greedy.expr
+        best_key = (greedy_score, greedy_cost)
+        for term in candidates:
+            score = scorer(term)
+            if score is None:
+                continue
+            key = (score, cost_fn(term))
+            if key < best_key:
+                best_key = key
+                best_term = term
+        if best_term is greedy.expr:
+            return self._result(greedy.expr, greedy.applications, stats)
+        return self._result(
+            best_term,
+            list(greedy.applications)
+            + self._record(
+                graph.reasons_for_term(best_term, builder), obs
+            ),
+            stats,
+        )
+
+    def _record(self, reasons, obs) -> List[Tuple[str, Expr, Expr]]:
+        """Turn e-graph reasons into trace entries (+ provenance)."""
+        entries = []
+        for rule, before, after in reasons:
+            entries.append((rule.name, before, after))
+            if obs is not None:
+                obs.provenance.record(
+                    self.engine.name, rule.name, rule.source, before, after
+                )
+        return entries
+
+    def _result(self, expr, applications, stats):
+        from .rewriter import RewriteResult
+
+        result = RewriteResult(expr, applications)
+        result.egraph = stats
+        return result

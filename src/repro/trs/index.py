@@ -1,0 +1,204 @@
+"""Discrimination-tree rule index: top-symbol trie over rule patterns.
+
+The rewrite engine used to dispatch on the pattern's root class and then
+run a per-rule structural precheck inside the match loop — a linear scan
+over the root-class bucket (plus the wildcard bucket) for every node of
+every fixpoint pass.  This module replaces that with a *discrimination
+tree* built once over the rulebase:
+
+* level 0 keys on the pattern's **root operator** (its ``Expr`` class);
+* level *k* keys on the **top symbol of the k-th child** of the pattern —
+  a concrete ``Expr`` class, ``Const`` (for ``ConstWild``/``PConst``
+  children, which only ever match broadcast constants), or the ``ANY``
+  edge for ``Wild`` children;
+* arity is implicit: every pattern with the same root class has the same
+  number of children, so all leaves of one root's subtree sit at the
+  same depth.
+
+Wildcard-*rooted* rules cannot be discriminated by root symbol; they live
+in two side buckets (``Wild`` roots match any node, ``ConstWild``/
+``PConst`` roots match only ``Const`` nodes) and are merged into every
+query result at their original priority, so the engine's global
+first-match-wins order is preserved exactly.
+
+A query walks the trie with the node's shallow shape — ``(type(node),
+type(child_0), ..., type(child_n))`` — following both the exact edge and
+the ``ANY`` edge at each level, and returns the candidate rules sorted by
+priority.  Results are memoized per shape, so steady-state dispatch is
+one tuple build + one dict hit per node instead of a scan; the candidate
+list is *exactly* the list the old linear scan + precheck produced
+(:meth:`RuleIndex.candidates_linear` keeps that scan as the reference
+implementation for differential tests and benchmarks).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.expr import Const, Expr
+from .rule import Rule
+
+__all__ = ["RuleIndex", "ANY"]
+
+
+class _Any:
+    """The trie's wildcard edge label (matches any child symbol)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "ANY"
+
+
+ANY = _Any()
+
+#: shallow shape of a node: (root class, child classes...)
+Shape = Tuple[type, ...]
+
+
+class _TrieNode:
+    """One trie level: edges by child symbol, rules at the leaves."""
+
+    __slots__ = ("edges", "rules")
+
+    def __init__(self) -> None:
+        self.edges: Dict[object, "_TrieNode"] = {}
+        self.rules: List[Tuple[int, Rule]] = []
+
+
+def _child_symbols(lhs: Expr) -> Optional[Tuple[object, ...]]:
+    """The per-child trie labels of a concrete-rooted pattern.
+
+    ``None`` labels (from :data:`ANY`) mark ``Wild`` children that match
+    anything; ``Const`` marks constant wildcards.  Returns ``None`` for
+    wildcard-rooted patterns (they are bucketed, not discriminated).
+    """
+    from .pattern import ConstWild, PConst, Wild
+
+    if isinstance(lhs, (ConstWild, PConst, Wild)):
+        return None
+    symbols: List[object] = []
+    for child in lhs.children:
+        if isinstance(child, (ConstWild, PConst)):
+            symbols.append(Const)
+        elif isinstance(child, Wild):
+            symbols.append(ANY)
+        else:
+            symbols.append(type(child))
+    return tuple(symbols)
+
+
+class RuleIndex:
+    """A discrimination-tree index over an ordered rulebase.
+
+    The rule sequence's order *is* the priority order: every query result
+    lists candidates by ascending original position, exactly as the
+    engine's greedy first-match-wins loop expects.
+    """
+
+    def __init__(self, rules) -> None:
+        from .pattern import ConstWild, PConst, Wild
+
+        self.rules: Tuple[Rule, ...] = tuple(rules)
+        #: root class -> trie over shallow child symbols
+        self._roots: Dict[type, _TrieNode] = {}
+        #: wildcard-rooted rules that match any node
+        self._wild: List[Tuple[int, Rule]] = []
+        #: ConstWild/PConst-rooted rules (match only ``Const`` nodes)
+        self._const_wild: List[Tuple[int, Rule]] = []
+        #: shape -> candidate tuple (the steady-state dispatch path)
+        self._memo: Dict[Shape, Tuple[Rule, ...]] = {}
+        #: per-rule shallow checks, kept for the linear reference scan
+        self._linear: List[Tuple[int, Rule, Optional[type], tuple]] = []
+
+        for i, r in enumerate(self.rules):
+            lhs = r.lhs
+            if isinstance(lhs, (ConstWild, PConst)):
+                self._const_wild.append((i, r))
+                self._linear.append((i, r, Const, ()))
+                continue
+            if isinstance(lhs, Wild):
+                self._wild.append((i, r))
+                self._linear.append((i, r, None, ()))
+                continue
+            symbols = _child_symbols(lhs)
+            node = self._roots.setdefault(type(lhs), _TrieNode())
+            for sym in symbols:
+                node = node.edges.setdefault(sym, _TrieNode())
+            node.rules.append((i, r))
+            checks = tuple(
+                (k, sym)
+                for k, sym in enumerate(symbols)
+                if sym is not ANY
+            )
+            self._linear.append((i, r, type(lhs), checks))
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def shape_of(expr: Expr) -> Shape:
+        """The shallow dispatch shape of a node."""
+        return (type(expr),) + tuple(type(c) for c in expr.children)
+
+    def candidates(self, expr: Expr) -> Tuple[Rule, ...]:
+        """Rules whose shallow structure admits ``expr``, priority order.
+
+        Equivalent (asserted by differential tests) to filtering the full
+        rulebase with the old per-rule precheck; memoized per shape.
+        """
+        shape = self.shape_of(expr)
+        hit = self._memo.get(shape)
+        if hit is not None:
+            return hit
+        found: List[Tuple[int, Rule]] = []
+        root = self._roots.get(shape[0])
+        if root is not None:
+            frontier = [root]
+            for sym in shape[1:]:
+                nxt: List[_TrieNode] = []
+                for node in frontier:
+                    exact = node.edges.get(sym)
+                    if exact is not None:
+                        nxt.append(exact)
+                    any_edge = node.edges.get(ANY)
+                    if any_edge is not None:
+                        nxt.append(any_edge)
+                frontier = nxt
+                if not frontier:
+                    break
+            for node in frontier:
+                found.extend(node.rules)
+        found.extend(self._wild)
+        if shape[0] is Const:
+            found.extend(self._const_wild)
+        found.sort(key=lambda pair: pair[0])
+        result = tuple(r for _, r in found)
+        self._memo[shape] = result
+        return result
+
+    def candidates_linear(self, expr: Expr) -> Tuple[Rule, ...]:
+        """Reference implementation: linear scan + per-rule precheck.
+
+        This is the pre-index dispatch path, kept for the differential
+        property tests and the ``bench_match`` harness; the trie must
+        return exactly this list in exactly this order.
+        """
+        cls = type(expr)
+        kids = expr.children
+        out: List[Rule] = []
+        for _i, r, root_cls, checks in self._linear:
+            if root_cls is None:  # Wild root: anything goes
+                out.append(r)
+                continue
+            # ConstWild/PConst roots carry root_cls=Const and no checks,
+            # so the root-class test below covers them too.
+            if cls is not root_cls:
+                continue
+            ok = True
+            for k, sym in checks:
+                if type(kids[k]) is not sym:
+                    ok = False
+                    break
+            if ok:
+                out.append(r)
+        return tuple(out)
+
+    def __len__(self) -> int:
+        return len(self.rules)

@@ -27,11 +27,11 @@ O(whole tree).
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Callable, Dict, Iterable, List, Optional, Tuple, Type
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..ir.expr import Expr
 from .costs import Cost, cost
+from .index import RuleIndex
 from .rule import Rule, RuleContext
 
 __all__ = ["RewriteEngine", "RewriteResult", "RewriteError"]
@@ -75,102 +75,43 @@ class RewriteEngine:
         cost_fn: Callable[[Expr], Cost] = cost,
         strategy: str = "bottom_up",
         name: str = "trs",
+        use_index: bool = True,
     ):
         if strategy not in ("bottom_up", "top_down"):
             raise ValueError(f"unknown strategy {strategy!r}")
         #: phase label stamped on telemetry (e.g. "lift", "lower")
         self.name = name
         #: the rule set, frozen at construction.  The engine's match
-        #: indexes and per-rule prechecks are built once from this
-        #: sequence, and the fabric's cache keys fingerprint it, so
-        #: mutating it after construction would desynchronize both —
-        #: build a new engine to change rules.
+        #: index is built once from this sequence, and the fabric's
+        #: cache keys fingerprint it, so mutating it after construction
+        #: would desynchronize both — build a new engine to change rules.
         self.rules = tuple(rules)
         self.require_cost_decrease = require_cost_decrease
         self.max_passes = max_passes
         self.cost_fn = cost_fn
         self.strategy = strategy
-        self._typed, self._wild = self._build_index(self.rules)
-        self._merged: Dict[type, List[Rule]] = {}
-        self._checks: Dict[int, tuple] = {
-            id(r): self._precheck(r.lhs) for r in self.rules
-        }
-        self._merged_checked: Dict[type, List[Tuple[Rule, tuple]]] = {}
+        #: ``use_index=False`` selects the pre-index linear scan — kept
+        #: as a reference path for differential tests and benchmarks.
+        self.use_index = use_index
+        self._index = RuleIndex(self.rules)
+        self._candidates = (
+            self._index.candidates if use_index
+            else self._index.candidates_linear
+        )
 
-    @staticmethod
-    def _precheck(lhs: Expr) -> tuple:
-        """Cheap per-rule structural filter, hoisted out of the matcher.
-
-        For a concrete pattern root, a child that is itself a concrete
-        pattern node only matches a node of exactly that class, and a
-        ``ConstWild``/``PConst`` child only matches a ``Const``; checking
-        ``type(child)`` up front skips the full matcher for most
-        non-matching (rule, node) pairs.  Wildcard-rooted patterns get no
-        field checks (``ConstWild``/``PConst`` roots require a ``Const``
-        node, encoded with field ``None``).
-        """
-        from ..ir.expr import Const
-        from .pattern import ConstWild, PConst, Wild
-
-        if isinstance(lhs, (ConstWild, PConst)):
-            return ((None, Const),)
-        if isinstance(lhs, Wild):
-            return ()
-        checks = []
-        for f in lhs._fields:
-            pv = getattr(lhs, f)
-            if isinstance(pv, (ConstWild, PConst)):
-                checks.append((f, Const))
-            elif isinstance(pv, Wild):
-                continue
-            elif isinstance(pv, Expr):
-                checks.append((f, type(pv)))
-        return tuple(checks)
-
-    @staticmethod
-    def _build_index(rules: List[Rule]):
-        """Index rules by their pattern's root class for O(1) dispatch.
-
-        Rules whose root is a pattern leaf (a wildcard) go in the
-        catch-all bucket; ``rules_for`` merges the two buckets in original
-        rule order, so the global priority order is preserved.
-        """
-        from .pattern import ConstWild, PConst, Wild
-
-        typed: Dict[type, List[Tuple[int, Rule]]] = defaultdict(list)
-        wild: List[Tuple[int, Rule]] = []
-        for i, r in enumerate(rules):
-            if isinstance(r.lhs, (Wild, ConstWild, PConst)):
-                wild.append((i, r))
-            else:
-                typed[type(r.lhs)].append((i, r))
-        return dict(typed), wild
+    @property
+    def index(self) -> RuleIndex:
+        """The discrimination-tree index over this engine's rules."""
+        return self._index
 
     def rules_for(self, expr: Expr) -> List[Rule]:
-        cls = type(expr)
-        merged = self._merged.get(cls)
-        if merged is None:
-            typed = self._typed.get(cls, [])
-            if not self._wild:
-                merged = [r for _, r in typed]
-            else:
-                merged = [
-                    r
-                    for _, r in sorted(
-                        typed + self._wild, key=lambda pair: pair[0]
-                    )
-                ]
-            self._merged[cls] = merged
-        return merged
+        """Candidate rules for ``expr``'s shallow shape, priority order.
 
-    def _checked_rules_for(self, expr: Expr) -> List[Tuple[Rule, tuple]]:
-        cls = type(expr)
-        pairs = self._merged_checked.get(cls)
-        if pairs is None:
-            checks = self._checks
-            pairs = [(r, checks[id(r)]) for r in self.rules_for(expr)]
-            self._merged_checked[cls] = pairs
-        return pairs
+        Only rules whose pattern root and shallow child symbols admit the
+        node are returned; the full matcher (and predicate) still decides
+        whether each candidate actually applies.
+        """
+        return list(self._candidates(expr))
 
     # ------------------------------------------------------------------
     def rewrite(
@@ -189,7 +130,7 @@ class RewriteEngine:
 
         ``obs`` is an optional :class:`~repro.observe.Observation`: when
         present, an instrumented matcher loop reports every rule firing
-        (name, source, subtree sizes), precheck hit/miss counts and the
+        (name, source, subtree sizes), index hit/miss counts and the
         number of fixpoint passes.  When absent (the default) the
         uninstrumented loop below runs — the zero-overhead contract.
         """
@@ -199,26 +140,20 @@ class RewriteEngine:
             memo = {} if obs is None else obs.memo(self.name)
         cost_fn = self.cost_fn
         gate = self.require_cost_decrease
-        checked_rules_for = self._checked_rules_for
+        candidates_for = self._candidates
 
         if obs is None:
 
             def apply_at(node: Expr) -> Optional[Expr]:
                 # Greedy: rules are pre-ordered (cheapest output first);
-                # the first applicable rule wins.
-                pairs = checked_rules_for(node)
-                if not pairs:
+                # the first applicable candidate wins.  The index already
+                # filtered by shallow shape, so every candidate goes
+                # straight to the full matcher.
+                cands = candidates_for(node)
+                if not cands:
                     return None
                 node_cost = cost_fn(node) if gate else None
-                for rule, checks in pairs:
-                    ok = True
-                    for f, cls in checks:
-                        v = node if f is None else getattr(node, f)
-                        if type(v) is not cls:
-                            ok = False
-                            break
-                    if not ok:
-                        continue
+                for rule in cands:
                     out = rule.apply(node, ctx)
                     if out is None:
                         continue
@@ -230,26 +165,24 @@ class RewriteEngine:
 
         else:
             phase = self.name
-            precheck = obs.precheck_counters(phase)
+            idx = obs.index_counters(phase)
+            hits, misses = idx[True], idx[False]
+            n_rules = len(self.rules)
             cost_rejects = obs.metrics.counter("cost_rejected", phase=phase)
 
             def apply_at(node: Expr) -> Optional[Expr]:
                 # Instrumented twin of the loop above: identical rewrite
-                # decisions, plus telemetry per (rule, node) attempt.
-                pairs = checked_rules_for(node)
-                if not pairs:
+                # decisions, plus telemetry per consulted node.  A "hit"
+                # is a candidate the index let through to the matcher; a
+                # "miss" is a rule the index pruned without a match
+                # attempt (vs. the naive scan over the whole rulebase).
+                cands = candidates_for(node)
+                hits.value += len(cands)
+                misses.value += n_rules - len(cands)
+                if not cands:
                     return None
                 node_cost = cost_fn(node) if gate else None
-                for rule, checks in pairs:
-                    ok = True
-                    for f, cls in checks:
-                        v = node if f is None else getattr(node, f)
-                        if type(v) is not cls:
-                            ok = False
-                            break
-                    precheck[ok].value += 1
-                    if not ok:
-                        continue
+                for rule in cands:
                     out = rule.apply(node, ctx)
                     if out is None:
                         continue

@@ -119,6 +119,48 @@ class TestInvalidation:
             pred_b
         )
 
+    def test_lift_strategy_is_a_semantic_input(self):
+        # Greedy and e-graph lifts can produce different programs from
+        # identical rules, so their fingerprints must never collide.
+        greedy = pipeline_rules_fingerprint("arm-neon")
+        egraph = pipeline_rules_fingerprint(
+            "arm-neon", lift_strategy="egraph"
+        )
+        assert greedy != egraph
+        assert greedy == pipeline_rules_fingerprint(
+            "arm-neon", lift_strategy="greedy"
+        )
+
+    def test_strategies_never_share_cache_entries(self, tmp_path):
+        # One cell, two strategies: both runs must store fresh entries
+        # (different keys), and re-running each strategy must hit its
+        # own entry — greedy and e-graph results never cross-contaminate.
+        cache = ResultCache(root=str(tmp_path))
+        greedy = TaskSpec("coverage", ("add", "arm-neon"), (True, "greedy"))
+        egraph = TaskSpec("coverage", ("add", "arm-neon"), (True, "egraph"))
+        first = run_tasks([greedy], cache=cache)[0]
+        second = run_tasks([egraph], cache=cache)[0]
+        assert not first.cached and not second.cached
+        assert cache.stores == 2
+        assert run_tasks([greedy], cache=cache)[0].cached
+        assert run_tasks([egraph], cache=cache)[0].cached
+
+    def test_legacy_params_tuple_means_greedy(self):
+        # Pre-PR-6 specs omit the strategy member; they must still run
+        # and produce exactly the explicit-greedy result.  (Their cache
+        # keys differ — the key embeds the raw params tuple — so this is
+        # a behavioural guarantee, not key aliasing.)
+        legacy = run_tasks(
+            [TaskSpec("coverage", ("add", "arm-neon"), (True,))]
+        )[0]
+        explicit = run_tasks(
+            [TaskSpec("coverage", ("add", "arm-neon"), (True, "greedy"))]
+        )[0]
+        assert legacy.ok and explicit.ok
+        # Counters (rule fires, index hits) are deterministic; the
+        # pass_seconds histograms are wall clock, so compare counters.
+        assert legacy.value["counters"] == explicit.value["counters"]
+
     def test_expr_fingerprint_distinguishes_types(self):
         assert expr_fingerprint(h.var("x", I16)) != expr_fingerprint(
             h.var("x", U8)

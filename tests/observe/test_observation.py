@@ -60,9 +60,15 @@ class TestInstrumentedCompile:
         assert any(phase == "lift" for _, phase in fired)
         # every firing also produced an instant event
         assert len(obs.tracer.instants) == sum(fired.values())
-        assert obs.metrics.counter_value(
-            "precheck", phase="lift", outcome="skip"
-        ) > 0
+        hits = obs.metrics.counter_value(
+            "match_index", phase="lift", outcome="hit"
+        )
+        misses = obs.metrics.counter_value(
+            "match_index", phase="lift", outcome="miss"
+        )
+        assert hits > 0
+        # the index prunes the vast majority of (rule, node) attempts
+        assert misses > hits
         assert any(
             h.count > 0 for h in obs.metrics.histograms("fixpoint_passes")
         )

@@ -1,0 +1,168 @@
+"""E-graph invariants: union-find, congruence closure, extraction.
+
+The e-graph must be *sound* (extraction only returns terms provably equal
+to the root) and *deterministic* (same inputs, same ids, same extracted
+term — no hash-order or object-identity dependence); saturation must
+respect its budgets.  The lifter contract on top: with no scorer, the
+e-graph strategy is anchored to greedy and never returns an agnostically
+costlier term.
+"""
+
+import pytest
+
+from repro.ir import builders as h
+from repro.ir import expr as E
+from repro.ir.types import U8, U16
+from repro.lifting import Lifter
+from repro.lifting.canonicalize import canonicalize
+from repro.trs.costs import cost
+from repro.trs.egraph import EGraph, EGraphLifter
+from repro.workloads import WORKLOADS, by_name
+
+
+def _ab(t=U16):
+    return h.var("a", t), h.var("b", t)
+
+
+class TestUnionFind:
+    def test_add_is_hash_consed(self):
+        g = EGraph()
+        a, b = _ab()
+        assert g.add(E.Add(a, b)) == g.add(E.Add(a, b))
+        assert g.add(a) != g.add(b)
+
+    def test_union_merges_and_keeps_min_root(self):
+        g = EGraph()
+        a, b = _ab()
+        ca, cb = g.add(a), g.add(b)
+        root = g.union(ca, cb)
+        assert root == min(ca, cb)
+        assert g.find(ca) == g.find(cb) == root
+
+    def test_congruence_closure_after_rebuild(self):
+        # union(a, b) must make Add(a, x) and Add(b, x) congruent.
+        g = EGraph()
+        a, b = _ab()
+        x = h.var("x", U16)
+        fa = g.add(E.Add(a, x))
+        fb = g.add(E.Add(b, x))
+        assert g.find(fa) != g.find(fb)
+        g.union(g.add(a), g.add(b))
+        g.rebuild()
+        assert g.find(fa) == g.find(fb)
+
+    def test_rebuild_cascades(self):
+        # Congruence at one level must propagate to parents.
+        g = EGraph()
+        a, b = _ab()
+        x = h.var("x", U16)
+        gfa = g.add(E.Mul(E.Add(a, x), x))
+        gfb = g.add(E.Mul(E.Add(b, x), x))
+        g.union(g.add(a), g.add(b))
+        g.rebuild()
+        assert g.find(gfa) == g.find(gfb)
+
+
+class TestExtraction:
+    def test_best_terms_picks_cheaper_member(self):
+        g = EGraph()
+        a, b = _ab()
+        big = E.Add(E.Mul(a, h.const(U16, 1)), b)
+        small = E.Add(a, b)
+        root = g.add(big)
+        g.union(root, g.add(small))
+        g.rebuild()
+        best = g.best_terms(cost)
+        got_cost, got_term, _nid = best[g.find(root)]
+        assert got_term == small
+        assert got_cost == cost(small) < cost(big)
+
+    def test_top_terms_ascending_and_bounded(self):
+        g = EGraph()
+        a, b = _ab()
+        root = g.add(E.Add(E.Mul(a, h.const(U16, 1)), b))
+        g.union(root, g.add(E.Add(a, b)))
+        g.union(root, g.add(E.Add(b, a)))
+        g.rebuild()
+        tops, builder = g.top_terms(2, cost)
+        lst = tops[g.find(root)]
+        assert len(lst) <= 2
+        costs = [c for c, _ in lst]
+        assert costs == sorted(costs)
+        # K-best must include the single best.
+        assert lst[0][1] == g.best_terms(cost)[g.find(root)][1]
+        # Every returned term has a builder e-node for provenance.
+        assert all(t in builder for _, t in lst)
+
+    def test_determinism(self):
+        def build():
+            g = EGraph()
+            expr = canonicalize(by_name("sobel3x3").expr)
+            root = g.add(expr)
+            g.saturate(Lifter().engine.index, max_iters=2)
+            best = g.best_terms(cost)
+            return root, best[g.find(root)][1]
+
+        (r1, t1), (r2, t2) = build(), build()
+        assert r1 == r2
+        assert t1 == t2
+
+
+class TestSaturation:
+    def test_budgets_are_respected(self):
+        g = EGraph()
+        g.add(canonicalize(by_name("gaussian3x3").expr))
+        stats = g.saturate(
+            Lifter().engine.index, max_iters=1, max_apps=5, max_enodes=50
+        )
+        assert stats.iterations == 1
+        assert stats.applications <= 5
+        assert not stats.saturated
+
+    @pytest.mark.parametrize("name", ["add", "mul", "sobel3x3", "matmul"])
+    def test_suite_cells_saturate_within_default_budgets(self, name):
+        g = EGraph()
+        g.add(canonicalize(by_name(name).expr))
+        stats = g.saturate(Lifter().engine.index)
+        assert stats.saturated
+        assert stats.enodes < 3000 and stats.applications < 12000
+
+
+class TestEGraphLifter:
+    @pytest.mark.parametrize("name", WORKLOADS)
+    def test_never_agnostically_worse_than_greedy(self, name):
+        lifter = Lifter()
+        expr = canonicalize(by_name(name).expr)
+        greedy = lifter.engine.rewrite(expr).expr
+        eg = EGraphLifter(lifter.engine).rewrite(expr).expr
+        assert cost(eg) <= cost(greedy)
+
+    def test_scorer_anchor_never_loses(self):
+        # A scorer that hates everything must leave greedy untouched.
+        lifter = Lifter()
+        expr = canonicalize(by_name("softmax").expr)
+        greedy = lifter.engine.rewrite(expr).expr
+        eg = EGraphLifter(lifter.engine).rewrite(
+            expr, scorer=lambda term: 0 if term is greedy else 10**9
+        )
+        assert eg.expr is greedy
+
+    def test_unscorable_candidates_are_skipped(self):
+        lifter = Lifter()
+        expr = canonicalize(by_name("l2norm").expr)
+        greedy = lifter.engine.rewrite(expr).expr
+        eg = EGraphLifter(lifter.engine).rewrite(
+            expr, scorer=lambda term: 1 if term is greedy else None
+        )
+        assert eg.expr is greedy
+
+    def test_result_carries_saturation_stats(self):
+        lifter = Lifter()
+        expr = canonicalize(by_name("add").expr)
+        res = EGraphLifter(lifter.engine).rewrite(expr)
+        assert res.egraph.iterations >= 1
+        assert res.egraph.enodes >= 1
+
+    def test_strategy_validation(self):
+        with pytest.raises(ValueError):
+            Lifter(strategy="quantum")
