@@ -117,6 +117,7 @@ def test_fabric_coverage_sweep():
 
 
 def test_write_snapshot():
+    _RESULTS["schema_version"] = "repro-bench-fabric/1"
     path = os.environ.get("BENCH_FABRIC_JSON", "BENCH_fabric.json")
     with open(path, "w") as f:
         json.dump(_RESULTS, f, indent=2, sort_keys=True)

@@ -11,7 +11,6 @@ captures rule telemetry, and both land in ``BENCH_fig6.json`` — a
 machine-readable perf snapshot for CI artifacts and cross-run diffing.
 """
 
-import json
 import os
 import time
 
@@ -152,15 +151,22 @@ def _write_fig6_json():
             var_bounds=wl.var_bounds,
             trace=Observation.quiet(metrics=registry),
         )
-    payload = ev.to_dict()
-    payload["metrics"] = json.loads(registry.to_json())
+    # Emit through the run-report writer: the figure data rides in
+    # ``extra`` of a schema-versioned RunReport, so the artifact carries
+    # env + rulebase fingerprints and diffs with `repro report diff`.
+    from repro.observe import RunReport
+
+    report = RunReport.collect(
+        "bench-fig6", argv=[], metrics=registry, extra=ev.to_dict()
+    )
     path = os.environ.get("BENCH_FIG6_JSON", "BENCH_fig6.json")
-    with open(path, "w") as fh:
-        json.dump(payload, fh, indent=1, sort_keys=True)
+    report.write(path)
+    doc = report.to_dict()
     return (
-        f"wrote {path}: {len(payload['results'])} measurements, "
-        f"{len(payload['metrics']['counters'])} counters, "
-        f"{len(payload['metrics']['histograms'])} histograms"
+        f"wrote {path} (schema {doc['schema_version']}): "
+        f"{len(doc['extra']['results'])} measurements, "
+        f"{len(doc['metrics']['counters'])} counters, "
+        f"{len(doc['metrics']['histograms'])} histograms"
     )
 
 

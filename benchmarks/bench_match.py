@@ -102,6 +102,7 @@ def test_lift_wallclock_by_configuration():
 
 
 def test_write_snapshot():
+    _RESULTS["schema_version"] = "repro-bench-match/1"
     path = os.environ.get("BENCH_MATCH_JSON", "BENCH_match.json")
     with open(path, "w") as f:
         json.dump(_RESULTS, f, indent=2, sort_keys=True)

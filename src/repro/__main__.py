@@ -25,12 +25,20 @@ cell results under ``.repro-cache/`` (or ``--cache-dir``/$REPRO_CACHE_DIR).
 Reports are byte-identical whatever ``--jobs`` is, and caching never
 changes a result — keys include the expression, target, rulebase
 fingerprint, and repro version, so any semantic change is a miss.
+
+Every command also takes ``--report out.json`` to emit a
+schema-versioned run report (environment + rulebase fingerprints, phase
+timings, metrics snapshot, span summary, cache stats); ``python -m
+repro report diff A B --threshold 0.1`` compares two reports and exits
+non-zero on regression — the CI perf ratchet.  ``coverage --trace
+FILE`` writes a merged cross-process Chrome trace of the sweep.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 
 from . import targets as T
 from .lifting import LIFT_STRATEGIES
@@ -81,6 +89,48 @@ def _fabric_from_args(args):
     return args.jobs, cache
 
 
+def _add_report_arg(p) -> None:
+    """``--report FILE`` for commands that can emit a run report."""
+    p.add_argument("--report", metavar="FILE", dest="report",
+                   help="write a schema-versioned run-report JSON (env "
+                        "+ rulebase fingerprints, phase timings, "
+                        "metrics snapshot, span summary, cache stats); "
+                        "compare two with 'python -m repro report diff'")
+
+
+def _report_tools(args):
+    """``(clock, metrics)`` when ``--report`` was given, else Nones.
+
+    The observability objects exist only when the artifact was
+    requested, so a plain run pays nothing — the disabled-path
+    overhead contract.
+    """
+    if not getattr(args, "report", None):
+        return None, None
+    from .observe import MetricsRegistry, PhaseClock
+
+    return PhaseClock(), MetricsRegistry()
+
+
+def _phase(clock, name: str):
+    """A timed phase when a clock exists, else a free no-op context."""
+    return clock.phase(name) if clock is not None else nullcontext()
+
+
+def _write_report(args, command: str, clock=None, metrics=None,
+                  tracer=None, cache=None, extra=None) -> None:
+    """Emit the ``--report`` artifact if one was requested."""
+    if not getattr(args, "report", None):
+        return
+    from .observe import RunReport
+
+    RunReport.collect(
+        command, clock=clock, metrics=metrics, tracer=tracer,
+        cache=cache, extra=extra,
+    ).write(args.report)
+    print(f"wrote run report to {args.report}")
+
+
 def _target_list(name: str):
     if name == "all":
         return list(T.PAPER_TARGETS)
@@ -105,9 +155,10 @@ def _print_stats(prog, compiler: str) -> None:
 
 def cmd_compile(args) -> int:
     wl = by_name(args.workload)
-    observing = bool(args.trace) or args.explain
+    clock, registry = _report_tools(args)
+    observing = bool(args.trace) or args.explain or registry is not None
     tracer = None
-    if args.trace:
+    if args.trace or registry is not None:
         from .observe import Tracer
 
         tracer = Tracer()
@@ -118,18 +169,20 @@ def cmd_compile(args) -> int:
             from .observe import Observation
 
             # One tracer spans every target; provenance/metrics are
-            # per-compile (hash-consed nodes recur across targets).
+            # per-compile (hash-consed nodes recur across targets) —
+            # except under --report, whose registry aggregates the run.
             obs = (
-                Observation(tracer=tracer)
+                Observation(tracer=tracer, metrics=registry)
                 if tracer is not None
-                else Observation.quiet()
+                else Observation.quiet(metrics=registry)
             )
         try:
-            pf = pitchfork_compile(
-                wl.expr, target, var_bounds=wl.var_bounds, trace=obs,
-                verify_each=args.verify_each,
-                lift_strategy=args.lift_strategy,
-            )
+            with _phase(clock, f"compile:{target.name}"):
+                pf = pitchfork_compile(
+                    wl.expr, target, var_bounds=wl.var_bounds, trace=obs,
+                    verify_each=args.verify_each,
+                    lift_strategy=args.lift_strategy,
+                )
         except PassVerificationError as exc:
             print(f"VERIFY-EACH FAILED on {target.name}: {exc}",
                   file=sys.stderr)
@@ -163,56 +216,73 @@ def cmd_compile(args) -> int:
             if args.stats:
                 _print_stats(rk, "rake")
         print()
-    if tracer is not None:
+    if tracer is not None and args.trace:
         tracer.write_chrome_trace(args.trace)
         print(f"wrote Chrome trace to {args.trace} "
               f"({len(tracer.spans)} spans, "
               f"{len(tracer.instants)} rule events); load it in "
               f"chrome://tracing or ui.perfetto.dev")
+    _write_report(args, "compile", clock=clock, metrics=registry,
+                  tracer=tracer)
     return 0
 
 
 def cmd_evaluate(args) -> int:
     jobs, cache = _fabric_from_args(args)
+    clock, registry = _report_tools(args)
+    extra = {}
     if args.figure == "all":
         from .evaluation.report import build_full_report
 
-        report = build_full_report(
-            with_rake=not args.no_rake, compile_repeats=args.repeats,
-            jobs=jobs, cache=cache,
-        )
+        with _phase(clock, "evaluate:all"):
+            report = build_full_report(
+                with_rake=not args.no_rake, compile_repeats=args.repeats,
+                jobs=jobs, cache=cache,
+            )
         if args.write:
             with open(args.write, "w") as fh:
                 fh.write(report)
             print(f"wrote {args.write}")
         else:
             print(report)
+        _write_report(args, "evaluate", clock=clock, metrics=registry,
+                      cache=cache)
         return 0
     if args.figure == "fig3":
         from .evaluation import run_codegen_comparison
 
-        print(run_codegen_comparison())
+        with _phase(clock, "evaluate:fig3"):
+            print(run_codegen_comparison())
     elif args.figure == "fig5":
         from .evaluation import run_runtime_evaluation
 
-        ev = run_runtime_evaluation(
-            with_rake=not args.no_rake, jobs=jobs, cache=cache,
-            lift_strategy=args.lift_strategy,
-        )
+        with _phase(clock, "evaluate:fig5"):
+            ev = run_runtime_evaluation(
+                with_rake=not args.no_rake, jobs=jobs, cache=cache,
+                lift_strategy=args.lift_strategy, metrics=registry,
+            )
         print(ev.format_table())
+        extra["geomean_speedup"] = {
+            t: ev.geomean_speedup(t)
+            for t in sorted({r.target for r in ev.results})
+        }
     elif args.figure == "fig6":
         from .evaluation import run_compile_time_evaluation
 
-        print(
-            run_compile_time_evaluation(
+        with _phase(clock, "evaluate:fig6"):
+            ev = run_compile_time_evaluation(
                 repeats=args.repeats, jobs=jobs,
-                lift_strategy=args.lift_strategy,
-            ).format_table()
-        )
+                lift_strategy=args.lift_strategy, metrics=registry,
+            )
+        print(ev.format_table())
     elif args.figure == "fig7":
         from .evaluation import run_ablation
 
-        print(run_ablation(jobs=jobs, cache=cache).format_table())
+        with _phase(clock, "evaluate:fig7"):
+            ev = run_ablation(jobs=jobs, cache=cache, metrics=registry)
+        print(ev.format_table())
+    _write_report(args, "evaluate", clock=clock, metrics=registry,
+                  cache=cache, extra=extra)
     return 0
 
 
@@ -240,6 +310,7 @@ def cmd_rules(args) -> int:
                 tag = "" if r.source == "hand" else f"   [{r.source}]"
                 print(f"   {r.name:<40} {r.lhs} -> {r.rhs}{tag}")
     print(f"total: {total} rules")
+    clock, registry = _report_tools(args)
     if args.verify:
         from .verify import batch_verify_rules
 
@@ -255,12 +326,13 @@ def cmd_rules(args) -> int:
             ("lifting-hand", "lifting (hand)", HAND_RULES),
             ("lifting-synth", "lifting (synthesized)", SYNTHESIZED_RULES),
         ]
-        results = iter(
-            batch_verify_rules(
+        with _phase(clock, "verify-rules"):
+            verify_results = batch_verify_rules(
                 [b[0] for b in batches], jobs=jobs, cache=cache,
                 max_type_combos=6, max_const_samples=4, max_points=400,
+                metrics=registry,
             )
-        )
+        results = iter(verify_results)
         for _label, display, rules in batches:
             print(f"-- verifying {display}")
             for r in rules:
@@ -277,7 +349,13 @@ def cmd_rules(args) -> int:
         print(f"verification: {checked} rules checked, "
               + ("all OK" if not failures
                  else f"{failures} FAILED"))
+        _write_report(args, "rules", clock=clock, metrics=registry,
+                      cache=cache,
+                      extra={"rules_checked": checked,
+                             "verify_failures": failures})
         return 1 if failures else 0
+    _write_report(args, "rules", clock=clock, metrics=registry,
+                  extra={"rules_total": total})
     return 0
 
 
@@ -296,15 +374,34 @@ def cmd_coverage(args) -> int:
     from .evaluation.coverage import run_coverage
 
     jobs, cache = _fabric_from_args(args)
-    report = run_coverage(
-        targets=_target_list(args.target), jobs=jobs, cache=cache,
-        lift_strategy=args.lift_strategy,
-    )
+    clock, _registry = _report_tools(args)
+    tracer = None
+    if args.trace:
+        from .observe import Tracer
+
+        tracer = Tracer()
+    with _phase(clock, "coverage-sweep"):
+        report = run_coverage(
+            targets=_target_list(args.target), jobs=jobs, cache=cache,
+            lift_strategy=args.lift_strategy, tracer=tracer,
+        )
     print(report.format_table(verbose=args.verbose))
+    if tracer is not None:
+        tracer.write_chrome_trace(args.trace)
+        lanes = {sp.pid or tracer.pid for sp in tracer.spans}
+        print(f"wrote Chrome trace to {args.trace} "
+              f"({len(tracer.spans)} spans across {len(lanes)} process "
+              f"lanes); load it in chrome://tracing or ui.perfetto.dev")
     if args.json:
         with open(args.json, "w") as fh:
             fh.write(report.to_json())
         print(f"wrote {args.json}")
+    # The run report aggregates the sweep's own registry (per-rule fire
+    # counts and fabric telemetry merged across workers).
+    _write_report(args, "coverage", clock=clock, metrics=report.metrics,
+                  tracer=tracer, cache=cache,
+                  extra={"cell_failures": len(report.failures),
+                         "dead_rules": len(report.dead)})
     if report.failures:
         # A cell that failed to compile under-reports fire counts; that
         # must fail loudly, not masquerade as dead rules.
@@ -332,18 +429,24 @@ def cmd_coverage(args) -> int:
 def cmd_lint(args) -> int:
     from .lint import lint_all_rulebases
 
+    clock, registry = _report_tools(args)
     fires = None
+    lint_cache = None
     if args.coverage:
         # Cross-check L105 shadowing claims against reality: a rule that
         # fires in the suite sweep is demonstrably not shadowed.
         from .evaluation.coverage import run_coverage
 
-        jobs, cache = _fabric_from_args(args)
-        cov = run_coverage(
-            targets=_target_list("all"), jobs=jobs, cache=cache
-        )
+        jobs, lint_cache = _fabric_from_args(args)
+        with _phase(clock, "coverage-sweep"):
+            cov = run_coverage(
+                targets=_target_list("all"), jobs=jobs, cache=lint_cache
+            )
         fires = {r.name: r.fires for r in cov.rows}
-    report = lint_all_rulebases(coverage_fires=fires)
+        if registry is not None:
+            registry.merge_snapshot(cov.metrics.to_dict())
+    with _phase(clock, "lint"):
+        report = lint_all_rulebases(coverage_fires=fires)
 
     if args.format == "json":
         import json
@@ -351,6 +454,11 @@ def cmd_lint(args) -> int:
         print(json.dumps(report.to_dict(), indent=2))
     else:
         print(report.format_text())
+
+    _write_report(args, "lint", clock=clock, metrics=registry,
+                  cache=lint_cache,
+                  extra={"lint_errors": len(report.errors),
+                         "lint_warnings": len(report.warnings)})
 
     if report.errors:
         return 1
@@ -388,13 +496,16 @@ def cmd_synthesize(args) -> int:
         return 2
     wls = [by_name(n) for n in names]
     jobs, cache = _fabric_from_args(args)
-    run = synthesize_lifting_rules(
-        workloads=wls,
-        max_lhs_size=args.max_lhs_size,
-        max_candidates=args.max_candidates,
-        jobs=jobs,
-        cache=cache,
-    )
+    clock, registry = _report_tools(args)
+    with _phase(clock, "synthesize"):
+        run = synthesize_lifting_rules(
+            workloads=wls,
+            max_lhs_size=args.max_lhs_size,
+            max_candidates=args.max_candidates,
+            jobs=jobs,
+            cache=cache,
+            metrics=registry,
+        )
     print(run.summary())
     for rule in run.rules:
         print(f"  {rule.lhs}  ->  {rule.rhs}   [{rule.source}]")
@@ -404,7 +515,61 @@ def cmd_synthesize(args) -> int:
         with open(args.out, "w") as fh:
             fh.write(dump_rules(run.rules))
         print(f"wrote {len(run.rules)} rules to {args.out}")
+    _write_report(args, "synthesize", clock=clock, metrics=registry,
+                  cache=cache,
+                  extra={"corpus_size": run.corpus_size,
+                         "synthesized_pairs": len(run.pairs),
+                         "verified_rules": len(run.rules)})
     return 0
+
+
+def cmd_report_show(args) -> int:
+    """Print a human summary of one run-report JSON."""
+    from .observe import load_report
+
+    try:
+        doc = load_report(args.report_file)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"command: {doc['command']}  (schema {doc['schema_version']})")
+    print(f"argv: {' '.join(doc['argv'])}")
+    env = doc.get("env", {})
+    print(f"env: python {env.get('python')} on {env.get('platform')}")
+    for p in doc.get("phases", ()):
+        print(f"phase {p['name']:<24} {p['seconds']:9.3f}s")
+    m = doc.get("metrics") or {}
+    print(f"metrics: {len(m.get('counters', []))} counters, "
+          f"{len(m.get('histograms', []))} histograms")
+    spans = doc.get("spans") or {}
+    if spans.get("span_count"):
+        print(f"spans: {spans['span_count']} across "
+              f"{len(spans.get('pids', []))} process(es); critical path "
+              f"{spans.get('critical_path_us', 0.0) / 1e6:.3f}s: "
+              + " > ".join(
+                  s["name"] for s in spans.get("critical_path", [])[:6]
+              ))
+    cache = doc.get("cache") or {}
+    if cache:
+        print(f"cache: {cache.get('hits', 0)} hits, "
+              f"{cache.get('misses', 0)} misses, "
+              f"{cache.get('stores', 0)} stores")
+    return 0
+
+
+def cmd_report_diff(args) -> int:
+    """Compare two run reports; exit non-zero on regression."""
+    from .observe import diff_reports, format_diff, load_report
+
+    try:
+        old = load_report(args.baseline)
+        new = load_report(args.current)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    entries = diff_reports(old, new, threshold=args.threshold)
+    print(format_diff(entries, old, new))
+    return 1 if any(e.regressed for e in entries) else 0
 
 
 def cmd_cache(args) -> int:
@@ -475,6 +640,7 @@ def main(argv=None) -> int:
                         "a violation names the offending pass and "
                         "exits non-zero")
     _add_lift_strategy_arg(p)
+    _add_report_arg(p)
     p.set_defaults(fn=cmd_compile)
 
     p = sub.add_parser("evaluate", help="regenerate a paper figure")
@@ -485,6 +651,7 @@ def main(argv=None) -> int:
     p.add_argument("--write", help="write the report to a file")
     _add_lift_strategy_arg(p)
     _add_fabric_args(p)
+    _add_report_arg(p)
     p.set_defaults(fn=cmd_evaluate)
 
     p = sub.add_parser("workloads", help="list the benchmark suite")
@@ -494,6 +661,7 @@ def main(argv=None) -> int:
     p.add_argument("--verbose", action="store_true")
     p.add_argument("--verify", action="store_true")
     _add_fabric_args(p)
+    _add_report_arg(p)
     p.set_defaults(fn=cmd_rules)
 
     p = sub.add_parser(
@@ -510,8 +678,12 @@ def main(argv=None) -> int:
                    help="known-dead rule names (one per line); exit "
                         "non-zero only for dead hand-written rules NOT "
                         "in this file (CI ratchet)")
+    p.add_argument("--trace", metavar="FILE",
+                   help="write a merged cross-process Chrome-trace JSON "
+                        "of the sweep (one lane per worker pid)")
     _add_lift_strategy_arg(p)
     _add_fabric_args(p)
+    _add_report_arg(p)
     p.set_defaults(fn=cmd_coverage)
 
     p = sub.add_parser(
@@ -528,6 +700,7 @@ def main(argv=None) -> int:
                         "(L105) findings for rules that demonstrably "
                         "fire")
     _add_fabric_args(p)
+    _add_report_arg(p)
     p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("synthesize", help="run the §4 offline pipeline")
@@ -540,7 +713,31 @@ def main(argv=None) -> int:
     p.add_argument("--max-candidates", type=int, default=60)
     p.add_argument("--out", help="write learned rules to a rule file")
     _add_fabric_args(p)
+    _add_report_arg(p)
     p.set_defaults(fn=cmd_synthesize)
+
+    p = sub.add_parser(
+        "report",
+        help="inspect/compare run reports (--report artifacts)",
+    )
+    rsub = p.add_subparsers(dest="action", required=True)
+    pr = rsub.add_parser(
+        "show", help="summarize one run-report JSON"
+    )
+    pr.add_argument("report_file", metavar="REPORT")
+    pr.set_defaults(fn=cmd_report_show)
+    pr = rsub.add_parser(
+        "diff",
+        help="compare two run reports; exit non-zero when any tracked "
+             "quantity regressed beyond --threshold (CI perf ratchet)",
+    )
+    pr.add_argument("baseline", metavar="BASELINE")
+    pr.add_argument("current", metavar="CURRENT")
+    pr.add_argument("--threshold", type=float, default=0.1,
+                    metavar="FRAC",
+                    help="tolerated relative worsening (default 0.1 = "
+                         "10%%)")
+    pr.set_defaults(fn=cmd_report_diff)
 
     p = sub.add_parser(
         "cache",

@@ -72,12 +72,19 @@ class AblationEvaluation:
 
 
 def ablate_one(
-    wl: Workload, target: Target, verify_lanes: int = 16
+    wl: Workload, target: Target, verify_lanes: int = 16, trace=None
 ) -> AblationResult:
-    """Compile one benchmark with full vs hand-only rules and verify."""
-    full = pitchfork_compile(wl.expr, target, var_bounds=wl.var_bounds)
+    """Compile one benchmark with full vs hand-only rules and verify.
+
+    ``trace`` (an :class:`~repro.observe.Observation`) opts both
+    compiles into observability so fabric sweeps report uniformly.
+    """
+    full = pitchfork_compile(
+        wl.expr, target, var_bounds=wl.var_bounds, trace=trace
+    )
     hand = pitchfork_compile(
-        wl.expr, target, var_bounds=wl.var_bounds, use_synthesized=False
+        wl.expr, target, var_bounds=wl.var_bounds, use_synthesized=False,
+        trace=trace,
     )
     env = wl.random_env(lanes=verify_lanes, seed=17)
     ref = evaluate(wl.expr, env)
@@ -96,12 +103,15 @@ def run_ablation(
     targets: Optional[List[Target]] = None,
     jobs: int = 1,
     cache=None,
+    metrics=None,
+    tracer=None,
 ) -> AblationEvaluation:
     """Run the Figure 7 ablation over the benchmark suite.
 
     One fabric task per (workload, target) cell; modelled cycles are
     deterministic, so cells cache against the workload expression plus
-    both rulebase fingerprints (full and hand-only).
+    both rulebase fingerprints (full and hand-only).  ``metrics`` /
+    ``tracer`` opt the sweep into cross-process observability.
     """
     from ..fabric import TaskSpec, run_tasks
 
@@ -115,7 +125,9 @@ def run_ablation(
         for tgt in tgts
     ]
     ev = AblationEvaluation()
-    for res in run_tasks(specs, jobs=jobs, cache=cache):
+    for res in run_tasks(
+        specs, jobs=jobs, cache=cache, metrics=metrics, tracer=tracer
+    ):
         if not res.ok:
             raise RuntimeError(
                 f"ablation cell {res.spec.key} failed: {res.error}"

@@ -187,13 +187,17 @@ def run_compile_time_evaluation(
     repeats: int = 3,
     jobs: int = 1,
     lift_strategy: str = "greedy",
+    metrics=None,
+    tracer=None,
 ) -> CompileTimeEvaluation:
     """Run the Figure 6 compile-time sweep.
 
     Each (workload, target) cell is one fabric task; with ``jobs > 1``
     the cells time themselves in separate worker processes.  Timing
     cells are never cached — a stale wall-clock number is worse than no
-    number — so there is no ``cache`` parameter here.
+    number — so there is no ``cache`` parameter here.  ``metrics`` /
+    ``tracer`` observe the sweep itself (per-flow ``compile_seconds``
+    histograms, task spans); the timed compiles stay uninstrumented.
     """
     from ..fabric import TaskSpec, run_tasks
 
@@ -211,7 +215,7 @@ def run_compile_time_evaluation(
         for tgt in tgts
     ]
     ev = CompileTimeEvaluation()
-    for res in run_tasks(specs, jobs=jobs):
+    for res in run_tasks(specs, jobs=jobs, metrics=metrics, tracer=tracer):
         if not res.ok:
             raise RuntimeError(
                 f"compile-time cell {res.spec.key} failed: {res.error}"

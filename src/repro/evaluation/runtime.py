@@ -146,17 +146,21 @@ def run_one(
     leave_one_out: bool = True,
     verify_rounds: int = 3,
     lift_strategy: str = "greedy",
+    trace=None,
 ) -> BenchmarkResult:
     """Compile one benchmark on one target with all compilers + verify.
 
     The lane-exact execution check runs ``verify_rounds`` rounds of fresh
     random inputs; every program (source, PITCHFORK, LLVM, Rake) is
     compiled to its interpreter closure once and reused across rounds.
+    ``trace`` opts the PITCHFORK compile into observability (an
+    :class:`~repro.observe.Observation`), so a fabric sweep reports the
+    same pipeline counters whatever ``jobs`` is.
     """
     exclude = {f"synth:{wl.name}"} if leave_one_out else set()
     pf = pitchfork_compile(
         wl.expr, target, var_bounds=wl.var_bounds, exclude_sources=exclude,
-        lift_strategy=lift_strategy,
+        lift_strategy=lift_strategy, trace=trace,
     )
     llvm, substituted = _compile_llvm(wl, target)
 
@@ -199,13 +203,17 @@ def run_runtime_evaluation(
     jobs: int = 1,
     cache=None,
     lift_strategy: str = "greedy",
+    metrics=None,
+    tracer=None,
 ) -> RuntimeEvaluation:
     """Regenerate the full Figure 5 dataset.
 
     Runs on the execution fabric: one task per (workload, target) cell.
     Modelled cycles are deterministic, so cells are cacheable — keyed by
     the workload expression and the exact (leave-one-out filtered)
-    rulebase fingerprint plus the lift strategy.
+    rulebase fingerprint plus the lift strategy.  ``metrics``/``tracer``
+    opt the sweep into cross-process observability (worker snapshots and
+    spans merge back here — see :func:`repro.fabric.run_tasks`).
     """
     from ..fabric import TaskSpec, run_tasks
 
@@ -223,7 +231,9 @@ def run_runtime_evaluation(
         for tgt in tgts
     ]
     ev = RuntimeEvaluation()
-    for res in run_tasks(specs, jobs=jobs, cache=cache):
+    for res in run_tasks(
+        specs, jobs=jobs, cache=cache, metrics=metrics, tracer=tracer
+    ):
         if not res.ok:
             raise RuntimeError(
                 f"runtime cell {res.spec.key} failed: {res.error}"

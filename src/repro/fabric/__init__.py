@@ -42,9 +42,11 @@ from .scheduler import (
     JobKind,
     TaskResult,
     TaskSpec,
+    WorkerObservation,
     get_job_kind,
     job_kind,
     run_tasks,
+    worker_observation,
 )
 
 __all__ = [
@@ -52,6 +54,7 @@ __all__ = [
     "ResultCache",
     "TaskResult",
     "TaskSpec",
+    "WorkerObservation",
     "default_cache_dir",
     "digest",
     "expr_fingerprint",
@@ -63,4 +66,5 @@ __all__ = [
     "rule_fingerprint",
     "rulebase_fingerprint",
     "run_tasks",
+    "worker_observation",
 ]

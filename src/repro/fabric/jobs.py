@@ -22,9 +22,33 @@ from .fingerprint import (
     pipeline_rules_fingerprint,
     rule_fingerprint,
 )
-from .scheduler import TaskSpec, job_kind
+from .scheduler import TaskSpec, job_kind, worker_observation
 
 __all__ = ["resolve_ruleset", "resolve_rule", "VERIFY_RULESETS"]
+
+
+def _worker_trace(metrics=None):
+    """An :class:`~repro.observe.Observation` wired to this task's
+    :class:`~repro.fabric.scheduler.WorkerObservation`, or ``None``.
+
+    ``None`` (no observation requested for the sweep) keeps the compile
+    pipeline on its uninstrumented path.  When the sweep observes, the
+    returned bundle records spans on the worker tracer (shipped home in
+    ``TaskResult.spans``) and counters into ``metrics`` — the worker's
+    own registry by default (shipped home in ``TaskResult.metrics``), or
+    a caller-supplied private registry for kinds like ``coverage`` whose
+    snapshot is the (cacheable) task *value*.
+    """
+    wo = worker_observation()
+    if wo is None:
+        return None
+    from ..observe import Observation
+
+    return Observation(
+        tracer=wo.tracer,
+        metrics=metrics if metrics is not None else wo.metrics,
+        rule_events=False,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -85,8 +109,13 @@ def _coverage_parts(spec: TaskSpec) -> Tuple[str, ...]:
 
 @job_kind("coverage", cacheable=True, cache_parts=_coverage_parts)
 def _run_coverage_cell(spec: TaskSpec) -> dict:
-    """Compile one cell with metrics-only observation; return the full
-    registry snapshot (the parent merges cells in input order)."""
+    """Compile one cell with rule telemetry; return the full registry
+    snapshot (the parent merges cells in input order).
+
+    The snapshot is deliberately the task *value* — not the worker
+    side-channel — so a cache hit replays the cell's counters exactly.
+    Spans still ride the worker tracer when the sweep traces.
+    """
     from ..observe import MetricsRegistry, Observation
     from ..pipeline import pitchfork_compile
     from ..targets import by_name as target_by_name
@@ -97,12 +126,15 @@ def _run_coverage_cell(spec: TaskSpec) -> dict:
     lift_strategy = _strategy_param(rest)
     wl = by_name(wl_name)
     registry = MetricsRegistry()
+    trace = _worker_trace(metrics=registry)
     pitchfork_compile(
         wl.expr,
         target_by_name(target_name),
         var_bounds=wl.var_bounds,
         use_synthesized=use_synthesized,
-        trace=Observation.quiet(metrics=registry),
+        trace=trace
+        if trace is not None
+        else Observation.quiet(metrics=registry),
         lift_strategy=lift_strategy,
     )
     return registry.to_dict()
@@ -131,6 +163,16 @@ def _run_verify_rule(spec: TaskSpec) -> dict:
         max_const_samples=max_const_samples,
         max_points=max_points,
     )
+    wo = worker_observation()
+    if wo is not None:
+        wo.metrics.counter(
+            "verify_rules",
+            ruleset=label,
+            outcome="ok" if report.ok else "failed",
+        ).inc()
+        wo.metrics.histogram("verify_points", ruleset=label).observe(
+            getattr(report, "checked_points", 0)
+        )
     # Duck-typed rather than ``report.to_dict()`` so stub verifiers
     # (tests monkeypatch ``repro.verify.verify_rule``) only need the
     # ``ok``/``counterexample`` surface the CLI historically consumed.
@@ -161,6 +203,18 @@ def _run_compile_time_cell(spec: TaskSpec) -> dict:
         repeats=repeats,
         lift_strategy=_strategy_param(rest),
     )
+    # The timed compiles themselves stay uninstrumented (observation
+    # overhead is part of what Figure 6 measures); the *measurements*
+    # feed the worker registry so a sweep-wide report can quote
+    # p50/p99 compile latency per flow.
+    wo = worker_observation()
+    if wo is not None:
+        wo.metrics.histogram(
+            "compile_seconds", flow="llvm", target=target_name
+        ).observe(r.llvm_seconds)
+        wo.metrics.histogram(
+            "compile_seconds", flow="pitchfork", target=target_name
+        ).observe(r.pitchfork_seconds)
     return {
         "llvm_seconds": r.llvm_seconds,
         "pitchfork_seconds": r.pitchfork_seconds,
@@ -205,6 +259,7 @@ def _run_runtime_cell(spec: TaskSpec) -> dict:
         with_rake=with_rake,
         leave_one_out=leave_one_out,
         lift_strategy=_strategy_param(rest),
+        trace=_worker_trace(),
     )
     return {
         "llvm_cycles": r.llvm_cycles,
@@ -237,7 +292,11 @@ def _run_ablation_cell(spec: TaskSpec) -> dict:
     from ..workloads import by_name
 
     wl_name, target_name = spec.key
-    r = ablate_one(by_name(wl_name), target_by_name(target_name))
+    r = ablate_one(
+        by_name(wl_name),
+        target_by_name(target_name),
+        trace=_worker_trace(),
+    )
     return {
         "hand_only_cycles": r.hand_only_cycles,
         "full_cycles": r.full_cycles,
@@ -292,6 +351,16 @@ def _run_synthesize_lift(spec: TaskSpec) -> dict:
     workload_names, max_lhs_size, max_rhs_size = spec.params
     entry = corpus_for(workload_names, max_lhs_size)[int(index)]
     result = synthesize_lift(entry.expr, max_size=max_rhs_size)
+    wo = worker_observation()
+    if wo is not None:
+        wo.metrics.counter(
+            "synth_searches",
+            outcome="found" if result is not None else "exhausted",
+        ).inc()
+        if result is not None:
+            wo.metrics.histogram("synth_candidates_explored").observe(
+                result.candidates_explored
+            )
     if result is None:
         return {"found": False}
     try:

@@ -22,10 +22,20 @@ Guarantees:
 * **Caching** — when a :class:`~repro.fabric.cache.ResultCache` is
   attached, cacheable kinds are looked up before dispatch and stored
   after success; hits skip execution entirely.
-* **Telemetry** — per-task wall time lands in ``fabric_task_seconds``
-  histograms and ``fabric_tasks`` counters on an attached
-  :class:`~repro.observe.MetricsRegistry`; an attached tracer gets one
-  span per task (labelled with the worker pid) on the fabric timeline.
+* **Telemetry** — observability is *cross-process*.  When a metrics
+  registry is attached, every task body runs with a private worker
+  registry (reachable from job code via :func:`worker_observation`)
+  whose snapshot travels home in :attr:`TaskResult.metrics` and is
+  merged into the attached registry — uniformly for every job kind, so
+  a ``jobs=N`` sweep reports the same pipeline counters as ``jobs=1``.
+  When a live tracer is attached, each task runs under a real worker
+  :class:`~repro.observe.Tracer` whose span list ships back in
+  :attr:`TaskResult.spans` and is re-anchored onto the parent timeline
+  (per-worker ``pid`` lanes, nesting preserved).  Cache hits — which
+  execute nothing — get a synthetic zero-length span anchored at the
+  wall-clock instant the hit resolved.  Per-task wall time additionally
+  lands in ``fabric_task_seconds`` histograms and ``fabric_tasks``
+  counters.
 """
 
 from __future__ import annotations
@@ -41,9 +51,11 @@ __all__ = [
     "JobKind",
     "TaskSpec",
     "TaskResult",
+    "WorkerObservation",
     "job_kind",
     "get_job_kind",
     "run_tasks",
+    "worker_observation",
 ]
 
 #: how many pool breakages run_tasks tolerates before giving up on retry
@@ -78,6 +90,41 @@ class TaskResult:
     pid: int = 0
     #: True when the value came from the result cache
     cached: bool = False
+    #: ``time.time()`` when the task body started (cache hits: resolved)
+    started_s: float = 0.0
+    #: serialized worker tracer payload (only when the sweep traces)
+    spans: Optional[Dict[str, Any]] = None
+    #: worker metrics snapshot (only when the sweep collects metrics)
+    metrics: Optional[Dict[str, Any]] = None
+
+
+@dataclass
+class WorkerObservation:
+    """The per-task observation sinks a job body may record into.
+
+    Created by the scheduler around every task execution (inline or in a
+    worker process) when the sweep observes; job kinds fetch it via
+    :func:`worker_observation`.  ``tracer`` is a live
+    :class:`~repro.observe.Tracer` only when the parent attached one
+    (otherwise a ``NullTracer``); ``metrics`` is always a private
+    registry — its snapshot travels back in :attr:`TaskResult.metrics`
+    and merges into the parent's registry.
+    """
+
+    tracer: Any
+    metrics: Any
+
+
+_WORKER_OBS: Optional[WorkerObservation] = None
+
+
+def worker_observation() -> Optional[WorkerObservation]:
+    """The active task's :class:`WorkerObservation`, or ``None``.
+
+    ``None`` means the sweep runs unobserved — job bodies must then skip
+    instrumentation entirely (the near-zero disabled-overhead contract).
+    """
+    return _WORKER_OBS
 
 
 @dataclass(frozen=True)
@@ -131,34 +178,75 @@ def get_job_kind(name: str) -> JobKind:
         ) from None
 
 
-def _execute(spec: TaskSpec) -> Tuple[str, Any, float, int]:
+def _execute(
+    spec: TaskSpec,
+    observe_metrics: bool = False,
+    observe_spans: bool = False,
+) -> Tuple[str, Any, float, int, float, Optional[dict], Optional[dict]]:
     """Run one task body; never raises (errors become values).
 
     This is the function submitted to worker processes, so its return
-    value must be picklable: job kinds return JSON-ish data, failures
-    return the formatted exception.
+    value must be picklable: ``(status, value, seconds, pid, started_s,
+    span_payload, metrics_snapshot)`` — job kinds return JSON-ish data,
+    failures return the formatted exception.  When observing, the task
+    runs under a :class:`WorkerObservation` (fresh tracer + registry)
+    whose serialized state rides home in the last two slots.
     """
+    global _WORKER_OBS
     _ensure_registered()
+    from ..observe import MetricsRegistry, NullTracer, Tracer
+
+    tracer = Tracer() if observe_spans else NullTracer()
+    obs = (
+        WorkerObservation(tracer=tracer, metrics=MetricsRegistry())
+        if (observe_metrics or observe_spans)
+        else None
+    )
+    prev, _WORKER_OBS = _WORKER_OBS, obs
+    started_s = time.time()
     t0 = time.perf_counter()
+    root = None
     try:
         kind = _JOB_KINDS[spec.kind]
-        value = kind.fn(spec)
-        return ("ok", value, time.perf_counter() - t0, os.getpid())
+        with tracer.span(
+            f"task:{spec.kind}", key="/".join(spec.key)
+        ) as root:
+            value = kind.fn(spec)
+        status, out = "ok", value
     except KeyboardInterrupt:  # pragma: no cover - let ^C kill the sweep
         raise
     except BaseException as exc:
-        err = f"{type(exc).__name__}: {exc}"
-        return ("error", err, time.perf_counter() - t0, os.getpid())
+        status, out = "error", f"{type(exc).__name__}: {exc}"
+    finally:
+        _WORKER_OBS = prev
+    seconds = time.perf_counter() - t0
+    if root is not None and tracer.enabled:
+        # Stamp the outcome on the (already closed) root span so the
+        # merged timeline can color failures without a side table.
+        root.args["outcome"] = status if status == "ok" else "failed"
+        root.args["pid"] = os.getpid()
+    span_payload = tracer.to_payload() if observe_spans else None
+    snapshot = (
+        obs.metrics.to_dict()
+        if observe_metrics and obs is not None and len(obs.metrics)
+        else None
+    )
+    return (status, out, seconds, os.getpid(), started_s, span_payload,
+            snapshot)
 
 
 def _to_result(
-    spec: TaskSpec, raw: Tuple[str, Any, float, int]
+    spec: TaskSpec,
+    raw: Tuple[str, Any, float, int, float, Optional[dict], Optional[dict]],
 ) -> TaskResult:
-    status, value, seconds, pid = raw
+    status, value, seconds, pid, started_s, spans, snapshot = raw
     if status == "ok":
         return TaskResult(spec, ok=True, value=value, seconds=seconds,
-                          pid=pid)
-    return TaskResult(spec, ok=False, error=value, seconds=seconds, pid=pid)
+                          pid=pid, started_s=started_s, spans=spans,
+                          metrics=snapshot)
+    return TaskResult(spec, ok=False, error=value, seconds=seconds,
+                      pid=pid, started_s=started_s, spans=spans,
+                      metrics=snapshot)
 
 
 @dataclass
@@ -180,11 +268,15 @@ def run_tasks(
     ``jobs=1`` (default) executes inline; ``jobs>1`` fans the cache
     misses out over a worker pool.  ``cache`` is an optional
     :class:`~repro.fabric.cache.ResultCache`; ``metrics``/``tracer`` are
-    optional observe-layer sinks.
+    optional observe-layer sinks — attaching either makes every task run
+    under a :class:`WorkerObservation` whose metric snapshot and span
+    list are merged back here (see the module docstring).
     """
     _ensure_registered()
     specs = list(specs)
     results: List[Optional[TaskResult]] = [None] * len(specs)
+    observe_metrics = metrics is not None
+    observe_spans = tracer is not None and tracer.enabled
 
     # -- phase 1: resolve cache hits ----------------------------------
     pending: List[_Pending] = []
@@ -202,7 +294,7 @@ def run_tasks(
             if hit:
                 results[i] = TaskResult(
                     spec, ok=True, value=value, cached=True,
-                    pid=os.getpid(),
+                    pid=os.getpid(), started_s=time.time(),
                 )
                 continue
         pending.append(_Pending(i, spec, ckey))
@@ -210,9 +302,11 @@ def run_tasks(
     # -- phase 2: execute misses --------------------------------------
     if jobs <= 1 or len(pending) <= 1:
         for p in pending:
-            results[p.index] = _to_result(p.spec, _execute(p.spec))
+            results[p.index] = _to_result(
+                p.spec, _execute(p.spec, observe_metrics, observe_spans)
+            )
     else:
-        _run_pool(pending, jobs, results)
+        _run_pool(pending, jobs, results, observe_metrics, observe_spans)
 
     # -- phase 3: persist + account -----------------------------------
     cache_keys = {p.index: p.cache_key for p in pending}
@@ -233,25 +327,37 @@ def run_tasks(
                 metrics.histogram(
                     "fabric_task_seconds", kind=res.spec.kind
                 ).observe(res.seconds)
-        if tracer is not None and tracer.enabled:
-            _record_span(tracer, res)
+            if res.metrics is not None:
+                metrics.merge_snapshot(res.metrics)
+        if observe_spans:
+            if res.spans is not None:
+                tracer.merge_payload(res.spans)
+            else:
+                _record_span(tracer, res)
     return results  # type: ignore[return-value]
 
 
 def _record_span(tracer, res: TaskResult) -> None:
-    """Re-emit one finished task as a span on the caller's timeline.
+    """Re-emit one span-less task result on the caller's timeline.
 
-    Worker processes cannot share the parent's tracer, so the scheduler
-    reconstructs a span from the measured wall time after the fact; the
-    worker pid labels which process ran it.
+    Real execution ships worker-side spans in :attr:`TaskResult.spans`;
+    this fallback covers results that never ran a tracer — cache hits
+    and legacy results — anchoring the span at the task's recorded
+    wall-clock start (``started_s``), so even reconstructed spans sit
+    where the work actually happened instead of stacking up at merge
+    time.
     """
     from ..observe.tracer import Span
 
-    end = tracer._now_us()
+    start_us = (
+        tracer.wall_us(res.started_s)
+        if res.started_s
+        else tracer._now_us() - res.seconds * 1e6
+    )
     tracer.spans.append(
         Span(
             name=f"task:{res.spec.kind}",
-            start_us=end - res.seconds * 1e6,
+            start_us=start_us,
             depth=0,
             duration_us=res.seconds * 1e6,
             args={
@@ -265,7 +371,11 @@ def _record_span(tracer, res: TaskResult) -> None:
 
 
 def _run_pool(
-    pending: List[_Pending], jobs: int, results: List[Optional[TaskResult]]
+    pending: List[_Pending],
+    jobs: int,
+    results: List[Optional[TaskResult]],
+    observe_metrics: bool = False,
+    observe_spans: bool = False,
 ) -> None:
     """Fan pending tasks out over a worker pool, isolating crashes.
 
@@ -279,7 +389,10 @@ def _run_pool(
     broken: List[_Pending] = []
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         futures = {
-            pool.submit(_execute, p.spec): p for p in pending
+            pool.submit(
+                _execute, p.spec, observe_metrics, observe_spans
+            ): p
+            for p in pending
         }
         not_done = set(futures)
         while not_done:
@@ -306,7 +419,10 @@ def _run_pool(
         with ProcessPoolExecutor(max_workers=1) as pool:
             try:
                 results[p.index] = _to_result(
-                    p.spec, pool.submit(_execute, p.spec).result()
+                    p.spec,
+                    pool.submit(
+                        _execute, p.spec, observe_metrics, observe_spans
+                    ).result(),
                 )
             except Exception as exc:
                 rebuilds += 1

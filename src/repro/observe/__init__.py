@@ -13,6 +13,13 @@ Three cooperating primitives, bundled by :class:`Observation`:
   :class:`~repro.pipeline.CompiledProgram` can answer "which rules emitted
   this instruction?" (``--explain``).
 
+:mod:`~repro.observe.report` rolls all three into one artifact: a
+schema-versioned :class:`RunReport` JSON (``--report out.json`` on every
+CLI command) with environment/rulebase fingerprints, per-phase wall
+clock, the metrics snapshot, a span summary with critical path, and
+cache stats; ``python -m repro report diff A B`` compares two of them
+and exits non-zero on regression.
+
 The contract is *opt-in, near-zero overhead when off*: the hot paths
 (:mod:`repro.trs.rewriter`, :mod:`repro.passes.manager`) take an optional
 ``Observation`` and select instrumented code paths only when one is
@@ -20,9 +27,23 @@ present; the default (``None``) path is byte-identical to the
 uninstrumented pipeline.
 """
 
-from .metrics import Counter, Histogram, MetricsRegistry, global_metrics
+from .metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    QUANTILE_RELATIVE_ERROR,
+    global_metrics,
+)
 from .observation import Observation
 from .provenance import Provenance, ProvenanceEntry
+from .report import (
+    PhaseClock,
+    RunReport,
+    diff_reports,
+    format_diff,
+    load_report,
+    span_summary,
+)
 from .tracer import NullTracer, Tracer
 
 __all__ = [
@@ -31,8 +52,15 @@ __all__ = [
     "MetricsRegistry",
     "NullTracer",
     "Observation",
+    "PhaseClock",
     "Provenance",
     "ProvenanceEntry",
+    "QUANTILE_RELATIVE_ERROR",
+    "RunReport",
     "Tracer",
+    "diff_reports",
+    "format_diff",
     "global_metrics",
+    "load_report",
+    "span_summary",
 ]

@@ -6,6 +6,17 @@ Event Format that ``chrome://tracing`` and Perfetto load: a JSON list of
 event dicts with ``name``/``ph``/``ts`` (microseconds) — complete spans as
 ``"ph": "X"`` events with a ``dur``, instants as ``"ph": "i"``.
 
+Tracing is **cross-process**: a worker on the execution fabric runs its
+own tracer and ships the recorded spans home as a JSON payload
+(:meth:`Tracer.to_payload`); the parent folds them onto its own timeline
+(:meth:`Tracer.merge_payload`).  Re-anchoring works off each tracer's
+wall-clock epoch — ``time.time()`` is shared across processes on one
+host, so a worker span's absolute start maps onto the parent's relative
+timeline to within clock resolution.  Merged spans keep their worker's
+``pid``, which :meth:`to_chrome_trace` renders as separate process lanes
+(with ``process_name`` metadata), so a parallel sweep shows one lane per
+worker with nesting preserved.
+
 :class:`NullTracer` is the disabled twin: same interface, every call a
 no-op, so instrumented code never branches on "is tracing on?".
 """
@@ -13,6 +24,7 @@ no-op, so instrumented code never branches on "is tracing on?".
 from __future__ import annotations
 
 import json
+import os
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -23,13 +35,19 @@ __all__ = ["NullTracer", "Span", "Tracer"]
 
 @dataclass
 class Span:
-    """One completed (or still-open) span: name, start, duration, depth."""
+    """One completed (or still-open) span: name, start, duration, depth.
+
+    ``pid`` is 0 for spans recorded by this process's own tracer; spans
+    merged from a worker payload carry the worker's pid so the Chrome
+    export can lane them per process.
+    """
 
     name: str
     start_us: float
     depth: int
     duration_us: Optional[float] = None
     args: Dict[str, Any] = field(default_factory=dict)
+    pid: int = 0
 
     @property
     def closed(self) -> bool:
@@ -42,6 +60,8 @@ class Tracer:
 
     Timestamps are ``time.perf_counter`` microseconds relative to the
     tracer's creation, which is what the Chrome trace viewer expects.
+    The creation instant is also pinned to the wall clock (``epoch_s``)
+    so other processes' timelines can be re-anchored onto this one.
     """
 
     #: distinguishes a live tracer from :class:`NullTracer` cheaply
@@ -49,6 +69,10 @@ class Tracer:
 
     def __init__(self) -> None:
         self._t0 = time.perf_counter()
+        #: wall-clock instant of ``_t0`` — the cross-process anchor
+        self.epoch_s = time.time()
+        #: pid of the process that owns this tracer
+        self.pid = os.getpid()
         self.spans: List[Span] = []
         self.instants: List[Span] = []
         self._stack: List[Span] = []
@@ -56,6 +80,10 @@ class Tracer:
     # -- recording -----------------------------------------------------
     def _now_us(self) -> float:
         return (time.perf_counter() - self._t0) * 1e6
+
+    def wall_us(self, wall_s: float) -> float:
+        """Map an absolute ``time.time()`` instant onto this timeline."""
+        return (wall_s - self.epoch_s) * 1e6
 
     @contextmanager
     def span(self, name: str, **args: Any) -> Iterator[Span]:
@@ -86,6 +114,57 @@ class Tracer:
             )
         )
 
+    # -- cross-process transport ---------------------------------------
+    def to_payload(self) -> Dict[str, Any]:
+        """Serialize this tracer for transport to another process.
+
+        The payload is plain JSON data: the owner pid, the wall-clock
+        epoch, and every recorded span/instant with timeline-relative
+        timestamps.  A parent process folds it onto its own timeline via
+        :meth:`merge_payload`.
+        """
+
+        def dump(sp: Span) -> Dict[str, Any]:
+            return {
+                "name": sp.name,
+                "start_us": sp.start_us,
+                "duration_us": sp.duration_us,
+                "depth": sp.depth,
+                "args": sp.args,
+            }
+
+        return {
+            "pid": self.pid,
+            "epoch_s": self.epoch_s,
+            "spans": [dump(s) for s in self.spans],
+            "instants": [dump(s) for s in self.instants],
+        }
+
+    def merge_payload(self, payload: Dict[str, Any]) -> None:
+        """Fold a :meth:`to_payload` dict onto this tracer's timeline.
+
+        Each span is shifted by the difference of the two wall-clock
+        epochs, so worker spans land where they actually ran relative to
+        the parent — a parallel sweep renders as overlapping per-worker
+        lanes, not a stack of bars at merge time.  Nesting (``depth``)
+        and the worker ``pid`` are preserved.
+        """
+        offset_us = (payload["epoch_s"] - self.epoch_s) * 1e6
+        pid = payload["pid"]
+
+        def load(d: Dict[str, Any]) -> Span:
+            return Span(
+                name=d["name"],
+                start_us=d["start_us"] + offset_us,
+                depth=d["depth"],
+                duration_us=d["duration_us"],
+                args=dict(d["args"]),
+                pid=pid,
+            )
+
+        self.spans.extend(load(d) for d in payload["spans"])
+        self.instants.extend(load(d) for d in payload["instants"])
+
     # -- export --------------------------------------------------------
     def to_chrome_trace(self) -> List[Dict[str, Any]]:
         """Render as a Chrome Trace Event Format event list.
@@ -93,37 +172,60 @@ class Tracer:
         Spans become complete (``"ph": "X"``) events, instants become
         thread-scoped instant (``"ph": "i"``) events; both carry ``name``,
         ``ts`` and ``args``, so the output loads directly in
-        ``chrome://tracing`` or https://ui.perfetto.dev.
+        ``chrome://tracing`` or https://ui.perfetto.dev.  Spans merged
+        from worker payloads keep their own ``pid``; one ``process_name``
+        metadata event per pid labels the lanes (``main`` vs
+        ``worker-<pid>``).
         """
         events: List[Dict[str, Any]] = []
+        pids_seen: Dict[int, None] = {}
         for sp in self.spans:
+            pid = sp.pid or self.pid
+            pids_seen.setdefault(pid)
             events.append(
                 {
                     "name": sp.name,
                     "ph": "X",
                     "ts": round(sp.start_us, 3),
                     "dur": round(sp.duration_us or 0.0, 3),
-                    "pid": 1,
+                    "pid": pid,
                     "tid": 1,
                     "cat": "compile",
                     "args": sp.args,
                 }
             )
         for ev in self.instants:
+            pid = ev.pid or self.pid
+            pids_seen.setdefault(pid)
             events.append(
                 {
                     "name": ev.name,
                     "ph": "i",
                     "ts": round(ev.start_us, 3),
                     "s": "t",
-                    "pid": 1,
+                    "pid": pid,
                     "tid": 1,
                     "cat": "rule",
                     "args": ev.args,
                 }
             )
         events.sort(key=lambda e: e["ts"])
-        return events
+        meta = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": pid,
+                "tid": 0,
+                "args": {
+                    "name": "main"
+                    if pid == self.pid
+                    else f"worker-{pid}"
+                },
+            }
+            for pid in pids_seen
+        ]
+        return meta + events
 
     def write_chrome_trace(self, path: str) -> None:
         """Write :meth:`to_chrome_trace` as JSON to ``path``."""
@@ -139,7 +241,9 @@ class NullTracer(Tracer):
     #: shared, immutable-by-convention empty span handed out by span()
     _NULL_SPAN = Span(name="<null>", start_us=0.0, depth=0, duration_us=0.0)
 
-    def __init__(self) -> None:  # deliberately skips Tracer state
+    def __init__(self) -> None:  # deliberately skips Tracer timing state
+        self.epoch_s = 0.0
+        self.pid = os.getpid()
         self.spans = []
         self.instants = []
 
@@ -150,3 +254,6 @@ class NullTracer(Tracer):
 
     def instant(self, name: str, **args: Any) -> None:
         """No-op."""
+
+    def merge_payload(self, payload: Dict[str, Any]) -> None:
+        """No-op: a disabled tracer discards worker payloads."""

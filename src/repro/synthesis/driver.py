@@ -52,6 +52,8 @@ def _search_corpus(
     max_rhs_size: int,
     jobs: int,
     cache,
+    metrics=None,
+    tracer=None,
 ) -> List[Optional[SynthesisResult]]:
     """Run the per-entry SyGuS search, on the fabric when possible.
 
@@ -91,7 +93,10 @@ def _search_corpus(
         for i in range(len(corpus))
     ]
     out: List[Optional[SynthesisResult]] = []
-    for res, entry in zip(run_tasks(specs, jobs=jobs, cache=cache), corpus):
+    fabric_results = run_tasks(
+        specs, jobs=jobs, cache=cache, metrics=metrics, tracer=tracer
+    )
+    for res, entry in zip(fabric_results, corpus):
         if not res.ok:
             out.append(inline(entry))
         elif not res.value.get("found"):
@@ -120,6 +125,8 @@ def synthesize_lifting_rules(
     generalize: bool = True,
     jobs: int = 1,
     cache=None,
+    metrics=None,
+    tracer=None,
 ) -> SynthesisRun:
     """Run the §4.1 + §4.3 pipeline and return verified lifting rules.
 
@@ -127,7 +134,8 @@ def synthesize_lifting_rules(
     demo's running time; the full setting works, just slower.  With
     ``jobs``/``cache`` the per-entry SyGuS searches run on the execution
     fabric (see :func:`_search_corpus`); the produced rules are identical
-    either way.
+    either way.  ``metrics``/``tracer`` opt the fabric sweep into
+    cross-process observability (search outcome counters, task spans).
     """
     run = SynthesisRun()
     wl_list = (
@@ -139,7 +147,8 @@ def synthesize_lifting_rules(
         corpus = corpus[:max_candidates]
 
     results = _search_corpus(
-        wl_list, corpus, max_lhs_size, max_rhs_size, jobs, cache
+        wl_list, corpus, max_lhs_size, max_rhs_size, jobs, cache,
+        metrics=metrics, tracer=tracer,
     )
     seen_rule_shapes = set()
     for entry, result in zip(corpus, results):

@@ -41,7 +41,12 @@ class TestTracer:
         tr = Tracer()
         with tr.span("compile", target="arm"):
             tr.instant("rule:x")
-        events = tr.to_chrome_trace()
+        all_events = tr.to_chrome_trace()
+        # Process-name metadata leads, then the timed events.
+        meta = [e for e in all_events if e["ph"] == "M"]
+        assert meta and meta[0]["name"] == "process_name"
+        assert meta[0]["args"]["name"] == "main"
+        events = [e for e in all_events if e["ph"] in ("X", "i")]
         assert len(events) == 2
         for ev in events:
             assert {"name", "ph", "ts"} <= set(ev)
@@ -49,9 +54,10 @@ class TestTracer:
         assert span_ev["name"] == "compile"
         assert span_ev["args"] == {"target": "arm"}
         assert span_ev["dur"] >= 0
+        assert span_ev["pid"] == tr.pid
         inst_ev = next(e for e in events if e["ph"] == "i")
         assert inst_ev["s"] == "t"
-        # Events come out time-ordered.
+        # Timed events come out time-ordered.
         assert [e["ts"] for e in events] == sorted(e["ts"] for e in events)
 
     def test_write_chrome_trace_is_loadable_json(self, tmp_path):
@@ -62,7 +68,71 @@ class TestTracer:
         tr.write_chrome_trace(str(path))
         events = json.loads(path.read_text())
         assert isinstance(events, list)
-        assert events[0]["name"] == "a"
+        spans = [e for e in events if e["ph"] == "X"]
+        assert spans[0]["name"] == "a"
+
+
+class TestCrossProcess:
+    def test_payload_round_trip_preserves_structure(self):
+        tr = Tracer()
+        with tr.span("task", key="a/b"):
+            with tr.span("compile"):
+                tr.instant("rule:x", phase="lift")
+        payload = tr.to_payload()
+        # The payload is plain JSON data.
+        json.dumps(payload)
+        assert payload["pid"] == tr.pid
+        assert [s["name"] for s in payload["spans"]] == ["task", "compile"]
+        assert payload["spans"][1]["depth"] == 1
+        assert payload["instants"][0]["args"] == {"phase": "lift"}
+
+    def test_merge_reanchors_onto_parent_timeline(self):
+        parent = Tracer()
+        worker = Tracer()
+        with worker.span("task"):
+            pass
+        payload = worker.to_payload()
+        payload["pid"] = 4242  # simulate another process
+        parent.merge_payload(payload)
+        (sp,) = parent.spans
+        assert sp.name == "task"
+        assert sp.pid == 4242
+        assert sp.depth == 0
+        # The worker started after the parent, so its re-anchored start
+        # must be positive on the parent's timeline.
+        assert sp.start_us >= 0.0
+
+    def test_merge_preserves_nesting_and_lanes_in_chrome_export(self):
+        parent = Tracer()
+        with parent.span("sweep"):
+            pass
+        worker = Tracer()
+        with worker.span("task"):
+            with worker.span("compile"):
+                pass
+        payload = worker.to_payload()
+        payload["pid"] = parent.pid + 1
+        parent.merge_payload(payload)
+        events = parent.to_chrome_trace()
+        meta = {e["pid"]: e["args"]["name"]
+                for e in events if e["ph"] == "M"}
+        assert meta[parent.pid] == "main"
+        assert meta[parent.pid + 1] == f"worker-{parent.pid + 1}"
+        spans = [e for e in events if e["ph"] == "X"]
+        assert {e["pid"] for e in spans} == {parent.pid, parent.pid + 1}
+        # Worker nesting survives: the inner span sits inside the outer.
+        task = next(e for e in spans if e["name"] == "task")
+        comp = next(e for e in spans if e["name"] == "compile")
+        assert task["ts"] <= comp["ts"]
+        assert comp["ts"] + comp["dur"] <= task["ts"] + task["dur"] + 1e-6
+
+    def test_null_tracer_discards_payloads(self):
+        null = NullTracer()
+        worker = Tracer()
+        with worker.span("task"):
+            pass
+        null.merge_payload(worker.to_payload())
+        assert null.spans == []
 
 
 class TestNullTracer:

@@ -216,3 +216,89 @@ class TestFabricOptions:
         serial = capsys.readouterr().out
         main(["rules", "--verify", "--jobs", "2"])
         assert capsys.readouterr().out == serial
+
+
+class TestRunReports:
+    """--report artifacts and the report show/diff subcommands."""
+
+    def _emit(self, tmp_path, name="r.json"):
+        path = tmp_path / name
+        assert main(["compile", "add", "--target", "x86-avx2",
+                     "--report", str(path)]) == 0
+        return path
+
+    def test_compile_report_artifact(self, tmp_path, capsys):
+        path = self._emit(tmp_path)
+        assert f"wrote run report to {path}" in capsys.readouterr().out
+        doc = json.loads(path.read_text())
+        assert doc["schema_version"] == "repro-report/1"
+        assert doc["command"] == "compile"
+        assert [p["name"] for p in doc["phases"]] == ["compile:x86-avx2"]
+        assert doc["metrics"]["counters"]  # rule fires were recorded
+        assert doc["spans"]["span_count"] > 0
+        assert doc["spans"]["critical_path"][0]["name"] == "compile"
+
+    def test_compile_output_unchanged_by_report(self, tmp_path, capsys):
+        assert main(["compile", "add", "--target", "x86-avx2"]) == 0
+        plain = capsys.readouterr().out
+        self._emit(tmp_path)
+        with_report = capsys.readouterr().out
+        assert with_report.startswith(plain)
+
+    def test_coverage_report_and_trace(self, tmp_path, capsys):
+        report = tmp_path / "cov.json"
+        trace = tmp_path / "trace.json"
+        main(["coverage", "--target", "x86-avx2", "--jobs", "2",
+              "--report", str(report), "--trace", str(trace)])
+        out = capsys.readouterr().out
+        assert "process lanes" in out
+        doc = json.loads(report.read_text())
+        assert doc["command"] == "coverage"
+        assert doc["spans"]["span_count"] > 0
+        assert len(doc["spans"]["pids"]) >= 2  # merged worker lanes
+        events = json.loads(trace.read_text())
+        assert any(e["ph"] == "M" for e in events)
+        assert any(e["name"] == "task:coverage" for e in events)
+
+    def test_report_show(self, tmp_path, capsys):
+        path = self._emit(tmp_path)
+        capsys.readouterr()
+        assert main(["report", "show", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "command: compile" in out
+        assert "phase compile:x86-avx2" in out
+
+    def test_report_self_diff_exits_zero(self, tmp_path, capsys):
+        path = self._emit(tmp_path)
+        capsys.readouterr()
+        assert main(["report", "diff", str(path), str(path)]) == 0
+        assert "0 regressed" in capsys.readouterr().out
+
+    def test_report_diff_flags_regression(self, tmp_path, capsys):
+        path = self._emit(tmp_path)
+        doc = json.loads(path.read_text())
+        for p in doc["phases"]:
+            p["seconds"] *= 3.0
+        worse = tmp_path / "worse.json"
+        worse.write_text(json.dumps(doc))
+        capsys.readouterr()
+        assert main(["report", "diff", str(path), str(worse),
+                     "--threshold", "0.5"]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+        # The same pair under a huge threshold passes.
+        assert main(["report", "diff", str(path), str(worse),
+                     "--threshold", "5.0"]) == 0
+
+    def test_report_diff_rejects_non_reports(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("{}")
+        assert main(["report", "diff", str(bogus), str(bogus)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_evaluate_report_carries_geomeans(self, tmp_path, capsys):
+        path = tmp_path / "fig7.json"
+        assert main(["evaluate", "fig7", "--report", str(path)]) == 0
+        capsys.readouterr()
+        doc = json.loads(path.read_text())
+        assert doc["command"] == "evaluate"
+        assert doc["metrics"]["counters"]  # fabric + pipeline telemetry
