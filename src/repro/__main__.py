@@ -62,6 +62,33 @@ def _add_lift_strategy_arg(p) -> None:
                         "cycles)")
 
 
+def _add_eval_backend_arg(p) -> None:
+    """``--eval-backend`` for commands that evaluate expressions."""
+    from .interp import BACKENDS
+
+    p.add_argument("--eval-backend", choices=list(BACKENDS),
+                   default=None, dest="eval_backend",
+                   help="expression-evaluation backend: 'closure' (one "
+                        "Python closure per node), 'numpy' (one ndarray "
+                        "op per node; needs numpy), or 'auto' (default: "
+                        "dispatch per call on the lane count)")
+
+
+def _eval_backend_from_args(args):
+    """Apply ``--eval-backend`` process-wide; returns the chosen name.
+
+    Setting the process default covers incidental ``evaluate()`` calls
+    (e.g. the fig7 ablation checks); sweep APIs additionally take the
+    name explicitly so it lands in fabric params and cache keys.
+    """
+    backend = getattr(args, "eval_backend", None)
+    if backend is not None:
+        from .interp import set_default_backend
+
+        set_default_backend(backend)
+    return backend
+
+
 def _add_fabric_args(p) -> None:
     """``--jobs`` / ``--cache`` / ``--cache-dir`` for sweep commands."""
     p.add_argument("--jobs", type=int, default=1, metavar="N",
@@ -229,6 +256,7 @@ def cmd_compile(args) -> int:
 
 def cmd_evaluate(args) -> int:
     jobs, cache = _fabric_from_args(args)
+    eval_backend = _eval_backend_from_args(args)
     clock, registry = _report_tools(args)
     extra = {}
     if args.figure == "all":
@@ -259,7 +287,8 @@ def cmd_evaluate(args) -> int:
         with _phase(clock, "evaluate:fig5"):
             ev = run_runtime_evaluation(
                 with_rake=not args.no_rake, jobs=jobs, cache=cache,
-                lift_strategy=args.lift_strategy, metrics=registry,
+                lift_strategy=args.lift_strategy,
+                eval_backend=eval_backend, metrics=registry,
             )
         print(ev.format_table())
         extra["geomean_speedup"] = {
@@ -315,6 +344,7 @@ def cmd_rules(args) -> int:
         from .verify import batch_verify_rules
 
         jobs, cache = _fabric_from_args(args)
+        eval_backend = _eval_backend_from_args(args)
         failures = 0
         checked = 0
         # Only lifting rules have full executable semantics on both
@@ -330,7 +360,7 @@ def cmd_rules(args) -> int:
             verify_results = batch_verify_rules(
                 [b[0] for b in batches], jobs=jobs, cache=cache,
                 max_type_combos=6, max_const_samples=4, max_points=400,
-                metrics=registry,
+                eval_backend=eval_backend, metrics=registry,
             )
         results = iter(verify_results)
         for _label, display, rules in batches:
@@ -496,6 +526,7 @@ def cmd_synthesize(args) -> int:
         return 2
     wls = [by_name(n) for n in names]
     jobs, cache = _fabric_from_args(args)
+    eval_backend = _eval_backend_from_args(args)
     clock, registry = _report_tools(args)
     with _phase(clock, "synthesize"):
         run = synthesize_lifting_rules(
@@ -504,6 +535,7 @@ def cmd_synthesize(args) -> int:
             max_candidates=args.max_candidates,
             jobs=jobs,
             cache=cache,
+            eval_backend=eval_backend,
             metrics=registry,
         )
     print(run.summary())
@@ -650,6 +682,7 @@ def main(argv=None) -> int:
     p.add_argument("--repeats", type=int, default=3)
     p.add_argument("--write", help="write the report to a file")
     _add_lift_strategy_arg(p)
+    _add_eval_backend_arg(p)
     _add_fabric_args(p)
     _add_report_arg(p)
     p.set_defaults(fn=cmd_evaluate)
@@ -660,6 +693,7 @@ def main(argv=None) -> int:
     p = sub.add_parser("rules", help="list/verify the rule sets")
     p.add_argument("--verbose", action="store_true")
     p.add_argument("--verify", action="store_true")
+    _add_eval_backend_arg(p)
     _add_fabric_args(p)
     _add_report_arg(p)
     p.set_defaults(fn=cmd_rules)
@@ -712,6 +746,7 @@ def main(argv=None) -> int:
     p.add_argument("--max-lhs-size", type=int, default=6)
     p.add_argument("--max-candidates", type=int, default=60)
     p.add_argument("--out", help="write learned rules to a rule file")
+    _add_eval_backend_arg(p)
     _add_fabric_args(p)
     _add_report_arg(p)
     p.set_defaults(fn=cmd_synthesize)

@@ -20,7 +20,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..interp import compile_expr
+from ..interp import compile_for_backend
 from ..pipeline import (
     LLVMCompileError,
     llvm_compile,
@@ -146,14 +146,16 @@ def run_one(
     leave_one_out: bool = True,
     verify_rounds: int = 3,
     lift_strategy: str = "greedy",
+    eval_backend: Optional[str] = None,
     trace=None,
 ) -> BenchmarkResult:
     """Compile one benchmark on one target with all compilers + verify.
 
     The lane-exact execution check runs ``verify_rounds`` rounds of fresh
     random inputs; every program (source, PITCHFORK, LLVM, Rake) is
-    compiled to its interpreter closure once and reused across rounds.
-    ``trace`` opts the PITCHFORK compile into observability (an
+    compiled once under ``eval_backend`` (closure/numpy/auto; None =
+    process default) and reused across rounds.  ``trace`` opts the
+    PITCHFORK compile into observability (an
     :class:`~repro.observe.Observation`), so a fabric sweep reports the
     same pipeline counters whatever ``jobs`` is.
     """
@@ -164,15 +166,19 @@ def run_one(
     )
     llvm, substituted = _compile_llvm(wl, target)
 
-    src_fn = compile_expr(wl.expr)
-    pf_fn = compile_expr(pf.lowered)
-    llvm_fn = compile_expr(llvm.lowered)
+    src_fn = compile_for_backend(wl.expr, eval_backend)
+    pf_fn = compile_for_backend(pf.lowered, eval_backend)
+    llvm_fn = compile_for_backend(llvm.lowered, eval_backend)
     rake = None
     rake_cycles = None
     if with_rake and target.name in RAKE_TARGETS:
         rake = rake_compile(wl.expr, target, var_bounds=wl.var_bounds)
         rake_cycles = rake.cost().total
-    rake_fn = compile_expr(rake.lowered) if rake is not None else None
+    rake_fn = (
+        compile_for_backend(rake.lowered, eval_backend)
+        if rake is not None
+        else None
+    )
 
     verified = True
     for round_idx in range(verify_rounds):
@@ -203,6 +209,7 @@ def run_runtime_evaluation(
     jobs: int = 1,
     cache=None,
     lift_strategy: str = "greedy",
+    eval_backend: Optional[str] = None,
     metrics=None,
     tracer=None,
 ) -> RuntimeEvaluation:
@@ -210,12 +217,14 @@ def run_runtime_evaluation(
 
     Runs on the execution fabric: one task per (workload, target) cell.
     Modelled cycles are deterministic, so cells are cacheable — keyed by
-    the workload expression and the exact (leave-one-out filtered)
-    rulebase fingerprint plus the lift strategy.  ``metrics``/``tracer``
-    opt the sweep into cross-process observability (worker snapshots and
-    spans merge back here — see :func:`repro.fabric.run_tasks`).
+    the workload expression, the exact (leave-one-out filtered) rulebase
+    fingerprint, the lift strategy, and the evaluation backend the
+    lane-exact checks run under.  ``metrics``/``tracer`` opt the sweep
+    into cross-process observability (worker snapshots and spans merge
+    back here — see :func:`repro.fabric.run_tasks`).
     """
     from ..fabric import TaskSpec, run_tasks
+    from ..interp import effective_backend
 
     wls = all_workloads()
     if workload_names is not None:
@@ -225,7 +234,10 @@ def run_runtime_evaluation(
         TaskSpec(
             "runtime",
             key=(wl.name, tgt.name),
-            params=(with_rake, True, lift_strategy),
+            params=(
+                with_rake, True, lift_strategy,
+                effective_backend(eval_backend),
+            ),
         )
         for wl in wls
         for tgt in tgts

@@ -31,6 +31,7 @@ from . import jobs  # noqa: F401  (job-kind registration side effects)
 from .cache import ResultCache, default_cache_dir
 from .fingerprint import (
     digest,
+    eval_backend_fingerprint,
     expr_fingerprint,
     pipeline_rules_fingerprint,
     predicate_fingerprint,
@@ -57,6 +58,7 @@ __all__ = [
     "WorkerObservation",
     "default_cache_dir",
     "digest",
+    "eval_backend_fingerprint",
     "expr_fingerprint",
     "get_job_kind",
     "job_kind",

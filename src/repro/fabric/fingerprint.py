@@ -39,6 +39,7 @@ __all__ = [
     "rule_fingerprint",
     "rulebase_fingerprint",
     "pipeline_rules_fingerprint",
+    "eval_backend_fingerprint",
     "repro_version",
 ]
 
@@ -138,6 +139,29 @@ def predicate_fingerprint(predicate) -> str:
             repr(sorted(pow2)),
         )
     return _callable_fingerprint(predicate)
+
+
+def eval_backend_fingerprint(backend: Optional[str] = None) -> str:
+    """Fingerprint of the evaluation backend a job will run under.
+
+    The backend is a semantic input for every job that *evaluates*
+    expressions (verify-rule, runtime, ablation, synthesize-lift): the
+    backends are property-tested lane-exact, but a backend bug would
+    otherwise poison the cache for every backend at once, and numpy
+    results additionally depend on the installed NumPy build.  ``None``
+    and ``"auto"`` resolve through
+    :func:`repro.interp.effective_backend` (so a host without numpy
+    keys as ``closure``), and any numpy-capable backend mixes in
+    ``numpy.__version__``.
+    """
+    from ..interp import effective_backend
+
+    name = effective_backend(backend)
+    if name == "closure":
+        return digest("eval-backend", "closure")
+    import numpy
+
+    return digest("eval-backend", name, numpy.__version__)
 
 
 #: per-object fingerprint memo.  Rules are immutable once registered

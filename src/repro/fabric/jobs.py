@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from .fingerprint import (
+    eval_backend_fingerprint,
     expr_fingerprint,
     pipeline_rules_fingerprint,
     rule_fingerprint,
@@ -92,6 +93,13 @@ def _strategy_param(rest) -> str:
     return rest[0] if rest else "greedy"
 
 
+def _backend_param(rest, index: int = 0) -> str:
+    """Params tuples grew a trailing eval-backend member in PR 8; older
+    specs (and tests) omit it, meaning the closure backend (the only
+    backend those specs could have run under)."""
+    return rest[index] if len(rest) > index else "closure"
+
+
 def _coverage_parts(spec: TaskSpec) -> Tuple[str, ...]:
     from ..workloads import by_name
 
@@ -145,7 +153,11 @@ def _run_coverage_cell(spec: TaskSpec) -> dict:
 # ----------------------------------------------------------------------
 def _verify_parts(spec: TaskSpec) -> Tuple[str, ...]:
     label, rule_name = spec.key
-    return (rule_fingerprint(resolve_rule(label, rule_name)),)
+    backend = _backend_param(spec.params[4:])
+    return (
+        rule_fingerprint(resolve_rule(label, rule_name)),
+        eval_backend_fingerprint(backend),
+    )
 
 
 @job_kind("verify-rule", cacheable=True, cache_parts=_verify_parts)
@@ -155,13 +167,14 @@ def _run_verify_rule(spec: TaskSpec) -> dict:
     from .. import verify as verify_mod
 
     label, rule_name = spec.key
-    seed, max_type_combos, max_const_samples, max_points = spec.params
+    seed, max_type_combos, max_const_samples, max_points, *rest = spec.params
     report = verify_mod.verify_rule(
         resolve_rule(label, rule_name),
         seed=seed,
         max_type_combos=max_type_combos,
         max_const_samples=max_const_samples,
         max_points=max_points,
+        backend=_backend_param(rest),
     )
     wo = worker_observation()
     if wo is not None:
@@ -242,6 +255,7 @@ def _runtime_parts(spec: TaskSpec) -> Tuple[str, ...]:
             exclude_sources=exclude,
             lift_strategy=lift_strategy,
         ),
+        eval_backend_fingerprint(_backend_param(rest, 1)),
     )
 
 
@@ -259,6 +273,7 @@ def _run_runtime_cell(spec: TaskSpec) -> dict:
         with_rake=with_rake,
         leave_one_out=leave_one_out,
         lift_strategy=_strategy_param(rest),
+        eval_backend=_backend_param(rest, 1),
         trace=_worker_trace(),
     )
     return {
@@ -282,6 +297,8 @@ def _ablation_parts(spec: TaskSpec) -> Tuple[str, ...]:
         target_name,
         pipeline_rules_fingerprint(target_name, True),
         pipeline_rules_fingerprint(target_name, False),
+        # ablation evaluates through the process-default backend
+        eval_backend_fingerprint(None),
     )
 
 
@@ -329,9 +346,12 @@ def corpus_for(workload_names: Tuple[str, ...], max_lhs_size: int):
 
 def _synth_parts(spec: TaskSpec) -> Tuple[str, ...]:
     (index,) = spec.key
-    workload_names, max_lhs_size, _max_rhs_size = spec.params
+    workload_names, max_lhs_size, _max_rhs_size, *rest = spec.params
     entry = corpus_for(workload_names, max_lhs_size)[int(index)]
-    return (expr_fingerprint(entry.expr),)
+    return (
+        expr_fingerprint(entry.expr),
+        eval_backend_fingerprint(_backend_param(rest)),
+    )
 
 
 @job_kind("synthesize-lift", cacheable=True, cache_parts=_synth_parts)
@@ -348,9 +368,11 @@ def _run_synthesize_lift(spec: TaskSpec) -> dict:
     from ..trs.serialize import SerializationError, dump_expr
 
     (index,) = spec.key
-    workload_names, max_lhs_size, max_rhs_size = spec.params
+    workload_names, max_lhs_size, max_rhs_size, *rest = spec.params
     entry = corpus_for(workload_names, max_lhs_size)[int(index)]
-    result = synthesize_lift(entry.expr, max_size=max_rhs_size)
+    result = synthesize_lift(
+        entry.expr, max_size=max_rhs_size, backend=_backend_param(rest)
+    )
     wo = worker_observation()
     if wo is not None:
         wo.metrics.counter(

@@ -210,8 +210,14 @@ _KERNELS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 _PROGRAMS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
 
+#: other evaluation backends register their cache clears here, so that
+#: clear_compile_cache() means "no compiled artifact survives" no matter
+#: which backend produced it
+_BACKEND_CLEAR_HOOKS: list = []
+
+
 def clear_compile_cache() -> None:
-    """Drop all compiled programs and kernels.
+    """Drop all compiled programs and kernels, in every backend.
 
     Called automatically by :func:`repro.interp.register_handler`:
     handlers are resolved at compile time, so registering one can change
@@ -219,6 +225,8 @@ def clear_compile_cache() -> None:
     """
     _PROGRAMS.clear()
     _KERNELS.clear()
+    for hook in _BACKEND_CLEAR_HOOKS:
+        hook()
 
 
 # register_handler invalidates the compile caches through this hook

@@ -241,7 +241,10 @@ def _eval_via_expansion(
 
 
 def evaluate(
-    expr: E.Expr, env: Mapping[str, Sequence[int]], lanes: int = None
+    expr: E.Expr,
+    env: Mapping[str, Sequence[int]],
+    lanes: int = None,
+    backend: str = None,
 ) -> Value:
     """Evaluate ``expr`` over ``env`` (var name -> lanes of ints).
 
@@ -249,14 +252,17 @@ def evaluate(
     result is in-range for ``expr.type``.  Common subexpressions are
     evaluated once.
 
-    Thin wrapper over the compiled backend: the expression is translated
-    once (memoized globally on the hash-consed node) and executed as a
-    flat closure program.  Semantics are identical to
-    :func:`evaluate_reference`.
+    Thin wrapper over the compiled backends: the expression is
+    translated once (memoized globally on the hash-consed node) and
+    executed as a flat register program — Python closures
+    (``backend="closure"``), ndarray steps (``"numpy"``), or a per-call
+    lane-count dispatch between the two (``"auto"``, the default; see
+    :mod:`repro.interp.backend`).  Semantics are identical to
+    :func:`evaluate_reference` for every backend.
     """
-    from .compiled import compile_expr  # late: avoids an import cycle
+    from .backend import compile_for_backend  # late: avoids import cycle
 
-    return compile_expr(expr)(env, lanes)
+    return compile_for_backend(expr, backend)(env, lanes)
 
 
 def evaluate_reference(

@@ -74,12 +74,19 @@ _HIGHER_MARKERS = ("speedup", "hit", "coverage", "verified")
 
 def environment_info() -> Dict[str, Any]:
     """The environment facts that make two reports comparable (or not)."""
+    try:
+        import numpy
+
+        numpy_version: Optional[str] = numpy.__version__
+    except ImportError:
+        numpy_version = None
     return {
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "platform": platform.platform(),
         "machine": platform.machine(),
         "executable": sys.executable,
+        "numpy": numpy_version,
     }
 
 
@@ -434,7 +441,9 @@ def format_diff(
     """Human-readable diff table (worst ``limit`` rows + a verdict line).
 
     When both report documents are supplied, a mismatch of rulebase
-    fingerprints is called out — such diffs compare different compilers.
+    fingerprints is called out — such diffs compare different compilers —
+    and so is a numpy-version mismatch, since numpy-backend timings (and
+    its cache keys) are pinned to the installed numpy.
     """
     lines: List[str] = []
     if old is not None and new is not None:
@@ -444,6 +453,13 @@ def format_diff(
             lines.append(
                 "warning: rulebase fingerprints differ — "
                 "reports measured different rule sets"
+            )
+        na = (old.get("env") or {}).get("numpy")
+        nb = (new.get("env") or {}).get("numpy")
+        if na != nb:
+            lines.append(
+                f"warning: numpy versions differ ({na} vs {nb}) — "
+                "numpy-backend timings and cache keys may drift"
             )
     regressed = [e for e in entries if e.regressed]
     lines.append(

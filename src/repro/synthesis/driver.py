@@ -52,6 +52,7 @@ def _search_corpus(
     max_rhs_size: int,
     jobs: int,
     cache,
+    eval_backend: Optional[str] = None,
     metrics=None,
     tracer=None,
 ) -> List[Optional[SynthesisResult]]:
@@ -65,8 +66,14 @@ def _search_corpus(
     express — and any infrastructure failure — are redone inline, so a
     degraded fabric degrades to the serial pipeline, never to a gap.
     """
+    from ..interp import effective_backend
+
+    backend = effective_backend(eval_backend)
+
     def inline(entry: CorpusEntry) -> Optional[SynthesisResult]:
-        return synthesize_lift(entry.expr, max_size=max_rhs_size)
+        return synthesize_lift(
+            entry.expr, max_size=max_rhs_size, backend=backend
+        )
 
     usable = jobs > 1 or cache is not None
     if usable:
@@ -88,7 +95,7 @@ def _search_corpus(
         TaskSpec(
             "synthesize-lift",
             key=(str(i),),
-            params=(names, max_lhs_size, max_rhs_size),
+            params=(names, max_lhs_size, max_rhs_size, backend),
         )
         for i in range(len(corpus))
     ]
@@ -125,6 +132,7 @@ def synthesize_lifting_rules(
     generalize: bool = True,
     jobs: int = 1,
     cache=None,
+    eval_backend: Optional[str] = None,
     metrics=None,
     tracer=None,
 ) -> SynthesisRun:
@@ -148,7 +156,7 @@ def synthesize_lifting_rules(
 
     results = _search_corpus(
         wl_list, corpus, max_lhs_size, max_rhs_size, jobs, cache,
-        metrics=metrics, tracer=tracer,
+        eval_backend=eval_backend, metrics=metrics, tracer=tracer,
     )
     seen_rule_shapes = set()
     for entry, result in zip(corpus, results):

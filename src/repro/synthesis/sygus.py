@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..fpir import ops as F
-from ..interp import EvalError, compile_expr
+from ..interp import EvalError, compile_for_backend, maybe_prepare_env
 from ..ir import expr as E
 from ..ir.expr import Const, Expr, Var, free_vars
 from ..ir.types import ScalarType
@@ -83,12 +83,15 @@ def _test_envs(
     return env
 
 
-def _signature(expr: Expr, env, n_tests: int) -> Optional[Signature]:
+def _signature(
+    expr: Expr, env, n_tests: int, backend: Optional[str] = None
+) -> Optional[Signature]:
     # Fingerprinting goes through the compiled backend directly: the
     # candidate pools share subtrees heavily, and each hash-consed node
-    # compiles exactly once across the whole enumeration.
+    # compiles exactly once across the whole enumeration (whichever
+    # evaluation backend runs it).
     try:
-        return tuple(compile_expr(expr)(env, n_tests))
+        return tuple(compile_for_backend(expr, backend)(env, n_tests))
     except (EvalError, E.TypeError_, ValueError):
         return None
 
@@ -194,15 +197,20 @@ def synthesize_lift(
     n_tests: int = 12,
     seed: int = 0,
     pool_cap: int = 512,
+    backend: Optional[str] = None,
 ) -> Optional[SynthesisResult]:
     """Search for a cheaper FPIR-bearing equivalent of ``lhs``.
 
     Returns None if no candidate up to ``max_size`` nodes verifies.
+    ``backend`` selects the evaluation backend for fingerprints and the
+    final equivalence check (None = process default); the search result
+    is backend-independent because the backends are lane-exact.
     """
     rng = random.Random(seed)
     variables = list(free_vars(lhs))
     env = _test_envs(variables, n_tests, rng)
-    target_sig = _signature(lhs, env, n_tests)
+    env = maybe_prepare_env(env, variables, n_tests, backend)
+    target_sig = _signature(lhs, env, n_tests, backend)
     if target_sig is None:
         return None
     lhs_cost = cost(lhs)
@@ -218,7 +226,7 @@ def synthesize_lift(
     def consider(e: Expr) -> Optional[SynthesisResult]:
         nonlocal explored
         explored += 1
-        sig = _signature(e, env, n_tests)
+        sig = _signature(e, env, n_tests, backend)
         if sig is None:
             return None
         t = e.type
@@ -235,7 +243,9 @@ def synthesize_lift(
             # must actually introduce FPIR — a plain re-association is a
             # simplification, not a lift
             if any(isinstance(n, F.FPIRInstr) for n in e.walk()):
-                if verify_equivalence(lhs, e, rng=rng, max_points=1024) is None:
+                if verify_equivalence(
+                    lhs, e, rng=rng, max_points=1024, backend=backend
+                ) is None:
                     return SynthesisResult(lhs, e, lhs_cost, c, explored)
         return None
 

@@ -33,6 +33,7 @@ def batch_verify_rules(
     max_type_combos: int = 32,
     max_const_samples: int = 12,
     max_points: int = 2048,
+    eval_backend: Optional[str] = None,
 ) -> List[Tuple[str, VerificationReport]]:
     """Verify every rule of the named rulesets; ordered, fail-safe.
 
@@ -40,7 +41,15 @@ def batch_verify_rules(
     failure (worker crash, resolution error) becomes a failing report
     whose counterexample names the infrastructure error, so a sweep
     never silently drops a rule.
+
+    ``eval_backend`` (closure/numpy/auto; None = process default) is
+    resolved here, travels in each task's params tuple, and is mixed
+    into the cache key — closure- and numpy-produced verdicts never
+    share cache entries.
     """
+    from ..interp import effective_backend
+
+    backend = effective_backend(eval_backend)
     specs: List[TaskSpec] = []
     for label in ruleset_labels:
         for rule in resolve_ruleset(label):
@@ -50,7 +59,7 @@ def batch_verify_rules(
                     key=(label, rule.name),
                     params=(
                         seed, max_type_combos, max_const_samples,
-                        max_points,
+                        max_points, backend,
                     ),
                 )
             )

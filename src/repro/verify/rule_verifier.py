@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..analysis import BoundsAnalyzer, BoundsContext, Interval
-from ..interp import EvalError, compile_expr
+from ..interp import EvalError, compile_for_backend, maybe_prepare_env
 from ..ir.expr import Const, Expr, Var
 from ..ir.types import ARITH_TYPES, ScalarType
 from ..trs.matcher import Match, instantiate
@@ -217,6 +217,7 @@ def verify_equivalence(
     max_points: int = 4096,
     n_random: int = 6,
     bit_exact_type: bool = True,
+    backend: Optional[str] = None,
 ) -> Optional[dict]:
     """Check two *concrete* expressions agree on a boundary-biased grid.
 
@@ -225,9 +226,11 @@ def verify_equivalence(
     (then equal widths and equal wrapped bit patterns are accepted).
 
     The entire cross product of sample tuples is packed into lanes and
-    each side is evaluated with **one** call to its compiled program; a
-    mismatching lane index maps back to the offending tuple for the
-    counterexample report.
+    each side is evaluated with **one** call to its compiled program
+    under the selected evaluation ``backend`` (closure/numpy/auto; None
+    means the process default — grids this wide are exactly where the
+    ndarray backend pays off); a mismatching lane index maps back to
+    the offending tuple for the counterexample report.
     """
     rng = rng if rng is not None else random.Random(0)
     var_bounds = var_bounds or {}
@@ -263,9 +266,10 @@ def verify_equivalence(
         name: [point[i] for point in grid]
         for i, name in enumerate(names)
     }
+    env = maybe_prepare_env(env, variables, lanes, backend)
     try:
-        lv = compile_expr(lhs)(env, lanes)
-        rv = compile_expr(rhs)(env, lanes)
+        lv = compile_for_backend(lhs, backend)(env, lanes)
+        rv = compile_for_backend(rhs, backend)(env, lanes)
     except EvalError as exc:
         return {"reason": f"evaluation error: {exc}"}
     if tl != tr:
@@ -299,11 +303,14 @@ def verify_rule(
     max_const_samples: int = 12,
     max_points: int = 2048,
     forced_consts: Optional[Dict[str, int]] = None,
+    backend: Optional[str] = None,
 ) -> VerificationReport:
     """Verify ``rule`` over every admissible type assignment.
 
     ``forced_consts`` pins the constant wildcards to specific values
     (used by the §4.3 generalizer's binary search over constant ranges).
+    ``backend`` selects the evaluation backend for the sample grids
+    (None = process default).
     """
     rng = random.Random(seed)
     tvars = _collect_tvars(rule.lhs)
@@ -393,6 +400,7 @@ def verify_rule(
                     rng=rng,
                     var_bounds=hints,
                     max_points=max_points,
+                    backend=backend,
                 )
                 points += 1
                 if cex is not None:

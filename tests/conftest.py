@@ -9,6 +9,25 @@ from repro.ir.types import ARITH_TYPES, ScalarType
 __all__ = ["lane_values", "scalar_types", "small_vectors"]
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--eval-backend",
+        action="store",
+        default=None,
+        choices=["closure", "numpy", "auto"],
+        help="run the whole suite under this expression-evaluation "
+             "backend (default: the process default, normally 'auto')",
+    )
+
+
+def pytest_configure(config):
+    backend = config.getoption("--eval-backend")
+    if backend is not None:
+        from repro.interp import set_default_backend
+
+        set_default_backend(backend)
+
+
 def lane_values(t: ScalarType) -> st.SearchStrategy[int]:
     """All representable values of a type, biased toward the boundaries."""
     boundaries = [t.min_value, t.max_value, 0, 1]

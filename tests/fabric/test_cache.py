@@ -5,10 +5,13 @@ import os
 import subprocess
 import sys
 
+import pytest
+
 from repro.fabric import (
     ResultCache,
     TaskSpec,
     default_cache_dir,
+    eval_backend_fingerprint,
     expr_fingerprint,
     pipeline_rules_fingerprint,
     predicate_fingerprint,
@@ -160,6 +163,58 @@ class TestInvalidation:
         # Counters (rule fires, index hits) are deterministic; the
         # pass_seconds histograms are wall clock, so compare counters.
         assert legacy.value["counters"] == explicit.value["counters"]
+
+    def test_eval_backend_is_a_semantic_input(self):
+        # Closure and numpy evaluation are proven lane-exact, but the
+        # numpy tier's arithmetic is pinned to the installed numpy, so
+        # verdicts produced under different backends (or different numpy
+        # versions) must never collide.
+        pytest.importorskip("numpy")
+        closure = eval_backend_fingerprint("closure")
+        assert closure == eval_backend_fingerprint("closure")
+        assert closure != eval_backend_fingerprint("numpy")
+        assert closure != eval_backend_fingerprint("auto")
+        # None resolves through the process default, never crashes.
+        assert eval_backend_fingerprint(None)
+
+    def test_eval_backends_never_share_verify_entries(self, tmp_path):
+        # One verify-rule cell, two backends: each run stores a fresh
+        # entry and re-running the same backend hits its own entry.
+        pytest.importorskip("numpy")
+        cache = ResultCache(root=str(tmp_path))
+        budget = (0, 2, 2, 50)  # seed, type combos, const samples, points
+        closure = TaskSpec(
+            "verify-rule", ("lifting-hand", "lift-widening-add"),
+            budget + ("closure",),
+        )
+        npy = TaskSpec(
+            "verify-rule", ("lifting-hand", "lift-widening-add"),
+            budget + ("numpy",),
+        )
+        first = run_tasks([closure], cache=cache)[0]
+        second = run_tasks([npy], cache=cache)[0]
+        assert first.ok and second.ok
+        assert not first.cached and not second.cached
+        assert cache.stores == 2
+        assert run_tasks([closure], cache=cache)[0].cached
+        assert run_tasks([npy], cache=cache)[0].cached
+        # Lane-exactness: both backends reach the same verdict.
+        assert first.value == second.value
+
+    def test_legacy_verify_params_mean_closure(self):
+        # Pre-PR-8 specs omit the backend member; they must still run
+        # and produce exactly the explicit-closure verdict.
+        budget = (0, 2, 2, 50)
+        legacy = run_tasks(
+            [TaskSpec("verify-rule", ("lifting-hand", "lift-widening-add"),
+                      budget)]
+        )[0]
+        explicit = run_tasks(
+            [TaskSpec("verify-rule", ("lifting-hand", "lift-widening-add"),
+                      budget + ("closure",))]
+        )[0]
+        assert legacy.ok and explicit.ok
+        assert legacy.value == explicit.value
 
     def test_expr_fingerprint_distinguishes_types(self):
         assert expr_fingerprint(h.var("x", I16)) != expr_fingerprint(
