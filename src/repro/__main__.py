@@ -13,7 +13,10 @@ rules       list/verify the rule sets
 coverage    compile the suite with rule telemetry; report per-rule fire
             counts and flag dead rules (synthesis-feedback candidates)
 lint        statically lint every rulebase (stable L1xx diagnostic
-            codes; errors fail, warnings ratchet against a baseline)
+            codes; errors fail, warnings ratchet against a baseline);
+            ``--machine`` lints every lowered program (M-codes) and
+            proves interval translation validation over the suite
+            matrix, ``--targets`` lints the shipped ISA tables (T-codes)
 synthesize  run the §4 offline pipeline over chosen benchmarks
 cache       inspect/clear the persistent result cache; print the
             rulebase fingerprint (CI cache keys)
@@ -178,6 +181,7 @@ def _print_stats(prog, compiler: str) -> None:
         print(f"   (no per-pass stats for {compiler})")
     else:
         print(prog.stats.format_table())
+    print(f"   {prog.register_pressure().format_line()}")
 
 
 def cmd_compile(args) -> int:
@@ -389,17 +393,6 @@ def cmd_rules(args) -> int:
     return 0
 
 
-def _read_baseline(path: str) -> set:
-    """Known-dead rule names: one per line, ``#`` comments allowed."""
-    names = set()
-    with open(path) as fh:
-        for line in fh:
-            name = line.split("#", 1)[0].strip()
-            if name:
-                names.add(name)
-    return names
-
-
 def cmd_coverage(args) -> int:
     from .evaluation.coverage import run_coverage
 
@@ -439,25 +432,107 @@ def cmd_coverage(args) -> int:
     dead_hand = {r.name for r in report.dead_hand_rules}
     if args.baseline:
         # Ratchet mode (CI): fail only on hand-written rules that are
-        # dead AND not already recorded as known coverage gaps.
-        allowed = _read_baseline(args.baseline)
-        newly_dead = sorted(dead_hand - allowed)
-        revived = sorted(allowed - {r.name for r in report.dead})
-        if revived:
+        # dead AND not already recorded as known coverage gaps.  The
+        # baseline may cover dead synthesized rules too, so staleness is
+        # judged against ALL dead rules, not just the hand-written ones.
+        from .lint import apply_ratchet
+
+        ratchet = apply_ratchet(
+            dead_hand, args.baseline,
+            stale_against={r.name for r in report.dead},
+        )
+        if ratchet.stale:
             print("baseline rules now fire (trim the baseline): "
-                  + ", ".join(revived))
-        if newly_dead:
+                  + ", ".join(ratchet.stale))
+        if ratchet.new:
             print("hand-written rules newly dead (not in "
                   f"{args.baseline}):")
-            for name in newly_dead:
+            for name in ratchet.new:
                 print(f"   {name}")
             return 1
         return 0
     return 1 if dead_hand else 0
 
 
+def _lint_backend(args) -> int:
+    """``lint --machine`` / ``lint --targets``: the post-lowering layer.
+
+    ``--machine`` sweeps the workload x target matrix on the fabric —
+    every lowered program is M-code linted, translation-validated
+    through the interval engine, and pressure-profiled.  ``--targets``
+    lints the shipped ISA tables (T-codes), cross-checking spec
+    reachability against the sweep's emitted mnemonics when both run.
+    """
+    from .lint import apply_ratchet, lint_all_targets, run_machine_lint
+
+    clock, registry = _report_tools(args)
+    jobs, cache = _fabric_from_args(args)
+    machine_report = None
+    target_report = None
+    diagnostics = []
+    extra = {}
+    if args.machine:
+        with _phase(clock, "machine-lint"):
+            machine_report = run_machine_lint(jobs=jobs, cache=cache)
+        diagnostics.extend(machine_report.diagnostics)
+        extra["machine_cells"] = len(machine_report.cells)
+        extra["machine_cell_failures"] = len(machine_report.failures)
+        extra["contained_cells"] = machine_report.contained_cells
+        extra["register_pressure"] = machine_report.max_pressure()
+    if args.targets:
+        emitted = (
+            machine_report.emitted_mnemonics()
+            if machine_report is not None else None
+        )
+        with _phase(clock, "target-lint"):
+            target_report = lint_all_targets(emitted=emitted)
+        diagnostics.extend(target_report.diagnostics)
+        extra["isa_specs"] = sum(target_report.spec_counts.values())
+
+    if args.format == "json":
+        import json
+
+        payload = {}
+        if machine_report is not None:
+            payload["machine"] = machine_report.to_dict()
+        if target_report is not None:
+            payload["targets"] = target_report.to_dict()
+        print(json.dumps(payload, indent=2))
+    else:
+        if machine_report is not None:
+            print(machine_report.format_text(verbose=args.verbose))
+        if target_report is not None:
+            print(target_report.format_text())
+
+    errors = [d for d in diagnostics if d.severity == "error"]
+    warnings = [d for d in diagnostics if d.severity == "warning"]
+    extra["lint_errors"] = len(errors)
+    extra["lint_warnings"] = len(warnings)
+    _write_report(args, "lint", clock=clock, metrics=registry,
+                  cache=cache, extra=extra)
+
+    if machine_report is not None and machine_report.failures:
+        # A cell that failed to compile was never linted; that must
+        # fail loudly, not read as a clean matrix.
+        return 1
+    if errors:
+        return 1
+    if args.baseline:
+        ratchet = apply_ratchet(
+            {d.key for d in warnings}, args.baseline
+        )
+        for line in ratchet.format_lines(label="lint warning"):
+            print(line)
+        if not ratchet.ok:
+            return 1
+    return 0
+
+
 def cmd_lint(args) -> int:
     from .lint import lint_all_rulebases
+
+    if args.machine or args.targets:
+        return _lint_backend(args)
 
     clock, registry = _report_tools(args)
     fires = None
@@ -492,21 +567,17 @@ def cmd_lint(args) -> int:
 
     if report.errors:
         return 1
-    warning_keys = {d.key for d in report.warnings}
     if args.baseline:
         # Ratchet mode (CI): fail only on warnings NOT already recorded
         # as known issues; report stale entries so the file shrinks.
-        allowed = _read_baseline(args.baseline)
-        stale = sorted(allowed - warning_keys)
-        if stale:
-            print("baseline entries no longer fire (trim the baseline):")
-            for key in stale:
-                print(f"   {key}")
-        new = sorted(warning_keys - allowed)
-        if new:
-            print(f"new lint warnings (not in {args.baseline}):")
-            for key in new:
-                print(f"   {key}")
+        from .lint import apply_ratchet
+
+        ratchet = apply_ratchet(
+            {d.key for d in report.warnings}, args.baseline
+        )
+        for line in ratchet.format_lines(label="lint warning"):
+            print(line)
+        if not ratchet.ok:
             return 1
     return 0
 
@@ -722,7 +793,8 @@ def main(argv=None) -> int:
 
     p = sub.add_parser(
         "lint",
-        help="statically lint every rulebase (stable diagnostic codes)",
+        help="statically lint rulebases, lowered machine programs, and "
+             "ISA tables (stable diagnostic codes)",
     )
     p.add_argument("--format", choices=["text", "json"], default="text")
     p.add_argument("--baseline", metavar="FILE",
@@ -733,6 +805,21 @@ def main(argv=None) -> int:
                    help="run the coverage sweep and drop shadowing "
                         "(L105) findings for rules that demonstrably "
                         "fire")
+    p.add_argument("--machine", action="store_true",
+                   help="lint the lowered program of every workload x "
+                        "target cell (M-codes: def-before-use, "
+                        "semantics width/arity, dead code) and prove "
+                        "interval translation validation; skips the "
+                        "rulebase lint")
+    p.add_argument("--targets", action="store_true",
+                   help="lint the shipped ISA tables (T-codes: "
+                        "duplicate mnemonics, non-positive costs, "
+                        "untypeable or unreachable specs); with "
+                        "--machine, spec reachability is cross-checked "
+                        "against the sweep's emitted mnemonics")
+    p.add_argument("--verbose", action="store_true",
+                   help="with --machine: per-cell instruction counts, "
+                        "register pressure and intervals")
     _add_fabric_args(p)
     _add_report_arg(p)
     p.set_defaults(fn=cmd_lint)

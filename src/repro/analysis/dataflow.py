@@ -1,0 +1,362 @@
+"""Lattice-parametric dataflow analysis over linearized machine programs.
+
+The lowered form of a compiled program is a tree/DAG of target
+instructions; :func:`repro.machine.program.linearize` turns it into a
+straight-line register program (one :class:`AsmLine` per distinct value).
+This module gives that program the classic machine-level analyses an
+instruction scheduler or register allocator needs:
+
+* :class:`MachineProgram` — an indexed def/use view of the listing;
+* :class:`DataflowAnalysis` / :func:`solve` — a small lattice-parametric
+  forward/backward solver (the program is straight-line today, so the
+  fixpoint is reached in one sweep, but the framework is written against
+  the general worklist contract so a branching CFG — the ROADMAP's
+  whole-pipeline programs — only has to supply predecessors/successors);
+* canned analyses: :func:`def_use_chains`, :func:`liveness`,
+  :func:`reaching_definitions`, and :func:`register_pressure` (a
+  max-live-values report surfaced via
+  ``CompiledProgram.register_pressure()`` and the machine-lint RunReport).
+
+Values tracked are *names*: virtual registers (``v3.i16``) defined by a
+line, and program inputs (free variables), which occupy a register from
+the program's entry.  Broadcast constants (``#7``) are not tracked — they
+live in pre-loaded registers whose lifetime is the whole loop, uniformly
+for every program, so they never change a comparison between programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+__all__ = [
+    "MachineInstr",
+    "MachineProgram",
+    "DataflowAnalysis",
+    "solve",
+    "DefUse",
+    "def_use_chains",
+    "LivenessResult",
+    "liveness",
+    "reaching_definitions",
+    "PressureReport",
+    "register_pressure",
+]
+
+
+# ----------------------------------------------------------------------
+# Program view
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MachineInstr:
+    """One line of a linearized program, with resolved defs and uses.
+
+    ``dst`` is the virtual register the line defines; ``uses`` are the
+    value names the line reads (registers and input variables — constant
+    operands are dropped, see the module docstring).  ``node`` is the
+    expression node behind the line when the program came from a lowered
+    tree (``None`` for hand-built fixtures).
+    """
+
+    index: int
+    dst: str
+    mnemonic: str
+    uses: Tuple[str, ...]
+    node: Any = None
+
+
+@dataclass
+class MachineProgram:
+    """An indexed, analyzable view of a linearized register program."""
+
+    instrs: List[MachineInstr]
+    #: value names live at entry (the program's input variables)
+    inputs: FrozenSet[str] = frozenset()
+
+    @classmethod
+    def from_expr(cls, lowered) -> "MachineProgram":
+        """Build the view from a lowered expression tree/DAG."""
+        # Imported lazily: analysis must stay importable without pulling
+        # the machine/targets layers in (workloads.base -> analysis).
+        from ..ir.expr import Const, free_vars
+        from ..machine.program import linearize_with_nodes
+
+        inputs = frozenset(v.name for v in free_vars(lowered))
+        instrs: List[MachineInstr] = []
+        for index, (line, node) in enumerate(linearize_with_nodes(lowered)):
+            # Operand strings align 1:1 with children; Var operands are
+            # the variable name, register operands the vreg name, and
+            # Const operands ("#7") are dropped from the use set.
+            uses = tuple(
+                operand
+                for child, operand in zip(node.children, line.operands)
+                if not isinstance(child, Const)
+            )
+            instrs.append(
+                MachineInstr(
+                    index=index,
+                    dst=line.dst,
+                    mnemonic=line.mnemonic,
+                    uses=uses,
+                    node=node,
+                )
+            )
+        return cls(instrs=instrs, inputs=inputs)
+
+    @classmethod
+    def from_lines(
+        cls, lines: Sequence[Tuple[str, str, Sequence[str]]],
+        inputs: Sequence[str] = (),
+    ) -> "MachineProgram":
+        """Build from raw ``(dst, mnemonic, uses)`` triples (fixtures)."""
+        return cls(
+            instrs=[
+                MachineInstr(i, dst, mnemonic, tuple(uses))
+                for i, (dst, mnemonic, uses) in enumerate(lines)
+            ],
+            inputs=frozenset(inputs),
+        )
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    @property
+    def result(self) -> Optional[str]:
+        """The program's output register (the last definition)."""
+        return self.instrs[-1].dst if self.instrs else None
+
+    def def_index(self, name: str) -> Optional[int]:
+        """Index of the line defining ``name`` (None for inputs/unknown)."""
+        for ins in self.instrs:
+            if ins.dst == name:
+                return ins.index
+        return None
+
+
+# ----------------------------------------------------------------------
+# Generic solver
+# ----------------------------------------------------------------------
+class DataflowAnalysis:
+    """One dataflow problem: a lattice plus a per-instruction transfer.
+
+    Subclasses set ``direction`` (``"forward"`` or ``"backward"``) and
+    implement :meth:`boundary` (the state at program entry for forward
+    problems, at program exit for backward ones), :meth:`transfer`, and
+    :meth:`join` (the lattice least upper bound, used where control flow
+    merges — trivial on straight-line code, but part of the contract).
+    """
+
+    direction: str = "forward"
+
+    def boundary(self, program: MachineProgram):
+        raise NotImplementedError
+
+    def transfer(self, instr: MachineInstr, state):
+        raise NotImplementedError
+
+    def join(self, a, b):
+        raise NotImplementedError
+
+
+def solve(
+    analysis: DataflowAnalysis, program: MachineProgram
+) -> List[Tuple[Any, Any]]:
+    """Run ``analysis`` to fixpoint; per-instruction ``(in, out)`` states.
+
+    ``in``/``out`` are relative to *program order* regardless of the
+    analysis direction (for a backward analysis, ``in`` is the state
+    before the instruction in program order — its dataflow output).
+    Iterates until no state changes; on today's straight-line programs
+    that is exactly one sweep plus the convergence check.
+    """
+    n = len(program.instrs)
+    if n == 0:
+        return []
+    forward = analysis.direction == "forward"
+    order = range(n) if forward else range(n - 1, -1, -1)
+    states: List[List[Any]] = [[None, None] for _ in range(n)]
+    for _ in range(n + 1):
+        changed = False
+        carry = analysis.boundary(program)
+        for i in order:
+            ins = program.instrs[i]
+            before_slot, after_slot = (0, 1) if forward else (1, 0)
+            if states[i][before_slot] != carry:
+                states[i][before_slot] = carry
+                changed = True
+            carry = analysis.transfer(ins, carry)
+            if states[i][after_slot] != carry:
+                states[i][after_slot] = carry
+                changed = True
+        if not changed:
+            return [(s[0], s[1]) for s in states]
+    raise RuntimeError(
+        "dataflow did not converge on a straight-line program "
+        "(non-monotone transfer function?)"
+    )  # pragma: no cover - defensive
+
+
+# ----------------------------------------------------------------------
+# Canned analyses
+# ----------------------------------------------------------------------
+@dataclass
+class DefUse:
+    """Where one value is defined and everywhere it is used."""
+
+    name: str
+    #: defining instruction index; None for program inputs
+    def_index: Optional[int]
+    uses: List[int] = field(default_factory=list)
+
+    @property
+    def is_dead(self) -> bool:
+        """Defined but never read (inputs are never 'dead')."""
+        return self.def_index is not None and not self.uses
+
+
+def def_use_chains(program: MachineProgram) -> Dict[str, DefUse]:
+    """def-use chains for every register and input of the program."""
+    chains: Dict[str, DefUse] = {
+        name: DefUse(name=name, def_index=None) for name in program.inputs
+    }
+    for ins in program.instrs:
+        for use in ins.uses:
+            chain = chains.get(use)
+            if chain is None:
+                # A use with no visible def: recorded with def_index=None
+                # so machine lint (M001) can flag it.
+                chain = DefUse(name=use, def_index=None)
+                chains[use] = chain
+            chain.uses.append(ins.index)
+        existing = chains.get(ins.dst)
+        if existing is None or existing.def_index is None and ins.dst not in program.inputs:
+            chains[ins.dst] = DefUse(
+                name=ins.dst,
+                def_index=ins.index,
+                uses=existing.uses if existing is not None else [],
+            )
+    return chains
+
+
+class _Liveness(DataflowAnalysis):
+    """Backward may-liveness over frozensets of value names."""
+
+    direction = "backward"
+
+    def boundary(self, program: MachineProgram) -> FrozenSet[str]:
+        # The final definition is the program's result: live at exit.
+        result = program.result
+        return frozenset((result,)) if result is not None else frozenset()
+
+    def transfer(
+        self, instr: MachineInstr, state: FrozenSet[str]
+    ) -> FrozenSet[str]:
+        return (state - {instr.dst}) | frozenset(instr.uses)
+
+    def join(self, a: FrozenSet[str], b: FrozenSet[str]) -> FrozenSet[str]:
+        return a | b
+
+
+@dataclass
+class LivenessResult:
+    """Per-instruction live sets (program-order ``in``/``out``)."""
+
+    live_in: List[FrozenSet[str]]
+    live_out: List[FrozenSet[str]]
+
+    def live_across(self, index: int) -> FrozenSet[str]:
+        """Values live while instruction ``index`` executes: its inputs,
+        its result, and everything carried across it."""
+        return self.live_in[index] | self.live_out[index]
+
+
+def liveness(program: MachineProgram) -> LivenessResult:
+    """May-liveness of every value at every program point."""
+    states = solve(_Liveness(), program)
+    return LivenessResult(
+        live_in=[s[0] for s in states], live_out=[s[1] for s in states]
+    )
+
+
+class _Reaching(DataflowAnalysis):
+    """Forward reaching definitions (name -> defining index)."""
+
+    direction = "forward"
+
+    def boundary(self, program: MachineProgram):
+        return frozenset((name, -1) for name in program.inputs)
+
+    def transfer(self, instr: MachineInstr, state):
+        return frozenset(
+            (n, i) for n, i in state if n != instr.dst
+        ) | {(instr.dst, instr.index)}
+
+    def join(self, a, b):
+        return a | b
+
+
+def reaching_definitions(
+    program: MachineProgram,
+) -> List[FrozenSet[Tuple[str, int]]]:
+    """Per-instruction set of ``(name, def_index)`` pairs reaching its
+    entry (inputs carry ``def_index == -1``)."""
+    return [s[0] for s in solve(_Reaching(), program)]
+
+
+@dataclass
+class PressureReport:
+    """Max-live-values profile of one linearized program.
+
+    ``max_live`` counts every simultaneously-live value (virtual
+    registers plus still-needed inputs) at the hottest instruction —
+    the lower bound on architectural registers a spill-free schedule of
+    this program order needs.
+    """
+
+    max_live: int
+    #: instruction index where the peak occurs (first of ties; -1 empty)
+    at_index: int
+    #: live-value count per instruction (while it executes)
+    timeline: List[int]
+    #: names live at the peak, for reports
+    peak_values: Tuple[str, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "max_live": self.max_live,
+            "at_index": self.at_index,
+            "timeline": list(self.timeline),
+            "peak_values": sorted(self.peak_values),
+        }
+
+    def format_line(self) -> str:
+        return (
+            f"register pressure: {self.max_live} values live at peak "
+            f"(instruction {self.at_index} of {len(self.timeline)})"
+        )
+
+
+def register_pressure(program: MachineProgram) -> PressureReport:
+    """Max-live register-pressure report for one program."""
+    if not program.instrs:
+        return PressureReport(max_live=0, at_index=-1, timeline=[])
+    live = liveness(program)
+    timeline = [
+        len(live.live_across(i)) for i in range(len(program.instrs))
+    ]
+    peak = max(timeline)
+    at = timeline.index(peak)
+    return PressureReport(
+        max_live=peak,
+        at_index=at,
+        timeline=timeline,
+        peak_values=tuple(sorted(live.live_across(at))),
+    )

@@ -149,6 +149,31 @@ def _run_coverage_cell(spec: TaskSpec) -> dict:
 
 
 # ----------------------------------------------------------------------
+# machinelint — M-code lint + translation validation of one compiled cell
+# ----------------------------------------------------------------------
+@job_kind("machinelint", cacheable=True, cache_parts=_coverage_parts)
+def _run_machinelint_cell(spec: TaskSpec) -> dict:
+    """Compile one (workload, target) cell, lint the lowered program,
+    validate the interval translation and profile register pressure.
+
+    Shares the coverage kind's cache parts: the lint verdict depends on
+    exactly the same semantic inputs (source expression + rulebase
+    fingerprints + target), so a cached cell stays valid until a rule or
+    workload changes.
+    """
+    from ..lint.machinelint import machine_cell
+
+    wl_name, target_name = spec.key
+    use_synthesized, *rest = spec.params
+    return machine_cell(
+        wl_name,
+        target_name,
+        use_synthesized=use_synthesized,
+        lift_strategy=_strategy_param(rest),
+    )
+
+
+# ----------------------------------------------------------------------
 # verify-rule — bounded verification of one rewrite rule
 # ----------------------------------------------------------------------
 def _verify_parts(spec: TaskSpec) -> Tuple[str, ...]:

@@ -6,13 +6,21 @@ baselines and CI greps key on them, so a check may be retired but its code
 is never reused.  The full table with one-line explanations is mirrored in
 ``DESIGN.md`` ("Static analysis").
 
-Two code ranges:
+Four code ranges:
 
 * ``L0xx`` — IR/FPIR *well-formedness* violations found by
   :func:`repro.lint.verifier.verify_expr` on concrete expression trees
   (what ``--verify-each`` runs after every pass);
 * ``L1xx`` — *rulebase* diagnostics found by
-  :func:`repro.lint.rulelint.lint_rules` on ``trs.Rule`` lists.
+  :func:`repro.lint.rulelint.lint_rules` on ``trs.Rule`` lists;
+* ``M0xx`` — *machine-program* diagnostics found by
+  :func:`repro.lint.machinelint.lint_machine_program` on lowered
+  ``TargetOp`` trees and their linearized register programs
+  (``python -m repro lint --machine``);
+* ``T0xx`` — *ISA-table* diagnostics found by
+  :func:`repro.lint.targetlint.lint_all_targets` on the shipped
+  :class:`~repro.targets.isa.InstrSpec` tables
+  (``python -m repro lint --targets``).
 
 Severity is per-code: ``error`` diagnostics are always fatal for the lint
 exit code; ``warning`` diagnostics are ratcheted via a baseline file (see
@@ -61,6 +69,32 @@ CODES: Dict[str, tuple] = {
                       "API (private attributes or the bounds analyzer "
                       "internals)"),
     "L109": ("warning", "duplicate rule name within one rulebase"),
+    # -- machine-program lint (lint_machine_program) -------------------
+    "M001": ("error", "instruction reads a register or input that no "
+                      "prior instruction (or program input) defines"),
+    "M002": ("error", "instruction result width disagrees with its "
+                      "spec's reference-semantics expansion"),
+    "M003": ("error", "operand count disagrees with the arity of the "
+                      "spec's reference semantics"),
+    "M004": ("warning", "dead instruction: its result register is never "
+                        "read and is not the program result"),
+    "M005": ("error", "non-lowered node survived past the lowerer (the "
+                      "tree mixes target ops with core IR/FPIR)"),
+    "M006": ("error", "reference_semantics expansion is missing, raises, "
+                      "or produces an ill-formed tree"),
+    "M007": ("error", "translation validation: the lowered program's "
+                      "value interval escapes the source expression's "
+                      "interval"),
+    # -- ISA-table lint (lint_target / lint_all_targets) ---------------
+    "T001": ("error", "duplicate mnemonic within one ISA table (two "
+                      "distinct specs share a name)"),
+    "T002": ("error", "non-positive throughput cost on an instruction "
+                      "that is not a zero-cost register move"),
+    "T003": ("error", "no admissible operand typing yields a well-formed "
+                      "reference_semantics expansion"),
+    "T004": ("warning", "spec unreachable: no shipped lowering rule "
+                        "emits it and the suite sweep never selected "
+                        "its mnemonic"),
 }
 
 

@@ -1,0 +1,88 @@
+"""Shared warning-ratchet: baseline files that may only shrink.
+
+Three gates use the same mechanism — coverage (``--baseline`` with
+``benchmarks/coverage_baseline.txt``), rule lint
+(``benchmarks/lint_baseline.txt``) and machine/target lint
+(``benchmarks/machinelint_baseline.txt``): a text file of known-accepted
+keys, one per line, ``#`` comments and blank lines ignored.  A run fails
+when it produces a key *not* in the baseline (the ratchet only
+tightens); keys in the baseline that no longer occur are reported as
+stale so the file can be trimmed.  This module is the one implementation
+behind all three (PR 9 unified the per-command copies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Set
+
+__all__ = ["RatchetResult", "read_baseline", "apply_ratchet"]
+
+
+def read_baseline(path: Path) -> Set[str]:
+    """Accepted keys from a baseline file (missing file = empty set)."""
+    path = Path(path)
+    if not path.exists():
+        return set()
+    out: Set[str] = set()
+    for line in path.read_text().splitlines():
+        key = line.split("#", 1)[0].strip()
+        if key:
+            out.add(key)
+    return out
+
+
+@dataclass
+class RatchetResult:
+    """Outcome of checking one run against one baseline."""
+
+    baseline: Path
+    #: keys present in the run but absent from the baseline (failures)
+    new: List[str] = field(default_factory=list)
+    #: baseline keys the run no longer produces (trim candidates)
+    stale: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.new
+
+    def format_lines(self, label: str = "finding") -> List[str]:
+        """Human-readable verdict lines (empty when fully clean)."""
+        lines = []
+        if self.stale:
+            lines.append(
+                "baseline entries no longer fire (trim the baseline):"
+            )
+            for key in self.stale:
+                lines.append(f"   {key}")
+        if self.new:
+            lines.append(f"new {label}s (not in {self.baseline}):")
+            for key in self.new:
+                lines.append(f"   {key}")
+        return lines
+
+
+def apply_ratchet(
+    current: Iterable[str],
+    baseline_path: Path,
+    stale_against: Optional[Iterable[str]] = None,
+) -> RatchetResult:
+    """Check a run's keys against a baseline file.
+
+    ``current`` are the keys the run produced that need baseline cover.
+    ``stale_against`` widens the set used for staleness detection when a
+    baseline legitimately covers more than this run produced (coverage
+    accepts hand-rulebase dead rules but detects staleness against *all*
+    dead rules); it defaults to ``current``.
+    """
+    allowed = read_baseline(baseline_path)
+    current = set(current)
+    occurring = (
+        set(stale_against) if stale_against is not None else current
+    )
+    return RatchetResult(
+        baseline=Path(baseline_path),
+        new=sorted(current - allowed),
+        stale=sorted(allowed - occurring),
+    )

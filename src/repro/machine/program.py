@@ -21,6 +21,7 @@ __all__ = [
     "linearize_with_nodes",
     "format_assembly",
     "format_explained",
+    "describe_lineage",
 ]
 
 
@@ -94,48 +95,57 @@ def format_assembly(program: E.Expr) -> str:
     return "\n".join(str(line) for line in linearize(program))
 
 
+def describe_lineage(node: E.Expr, provenance) -> str:
+    """The ``--explain``-style rule chain that produced ``node``.
+
+    ``provenance`` is a :class:`~repro.observe.Provenance`.  Returns the
+    chain that produced the node (``lift:lift-absd -> lower:arm-uabd``).
+    A node whose own chain names no lift/lower rule (a rebuilt
+    intermediate, e.g. residue mapping of an untouched source op)
+    inherits lineage from the nearest operand subtree that does, marked
+    ``via``; a node with no lineage anywhere is genuine source structure,
+    reported as ``source``.  Shared by :func:`format_explained` and the
+    machine linter's diagnostic blame messages.
+    """
+
+    def names_rule(chain) -> bool:
+        return any(e.phase in ("lift", "lower") for e in chain)
+
+    desc = provenance.describe(node)
+    if names_rule(provenance.chain(node)):
+        return desc
+    # The node's own chain names no rewrite rule (e.g. generic residue
+    # mapping of untouched source structure): surface the nearest
+    # operand lineage that does — the rules whose values it combines.
+    via = ""
+    stack = list(node.children)
+    while stack:
+        n = stack.pop(0)
+        if names_rule(provenance.chain(n)):
+            via = provenance.describe(n)
+            break
+        stack.extend(n.children)
+    if desc and via:
+        return f"{desc} (operands via {via})"
+    if desc:
+        return desc
+    if via:
+        return f"via {via}"
+    return "source"
+
+
 def format_explained(program: E.Expr, provenance) -> str:
     """Figure 3-style listing with a per-line provenance annotation.
 
     ``provenance`` is a :class:`~repro.observe.Provenance`.  Each line is
-    annotated with the rule chain that produced its instruction
-    (``; lift:lift-absd -> lower:arm-uabd``).  An instruction whose own
-    node carries no chain (a rebuilt intermediate, e.g. residue mapping
-    of an untouched source op) inherits lineage from the nearest operand
-    subtree that does, marked ``via``; a line with no lineage anywhere is
-    genuine source structure, marked ``; source``.
+    annotated with the rule chain that produced its instruction — see
+    :func:`describe_lineage` for the inheritance behaviour.
     """
     pairs = linearize_with_nodes(program)
     if not pairs:
         return ""
     width = max(len(str(line)) for line, _ in pairs)
-
-    def names_rule(chain) -> bool:
-        return any(e.phase in ("lift", "lower") for e in chain)
-
-    def lineage(node: E.Expr) -> str:
-        desc = provenance.describe(node)
-        if names_rule(provenance.chain(node)):
-            return desc
-        # The node's own chain names no rewrite rule (e.g. generic residue
-        # mapping of untouched source structure): surface the nearest
-        # operand lineage that does — the rules whose values it combines.
-        via = ""
-        stack = list(node.children)
-        while stack:
-            n = stack.pop(0)
-            if names_rule(provenance.chain(n)):
-                via = provenance.describe(n)
-                break
-            stack.extend(n.children)
-        if desc and via:
-            return f"{desc} (operands via {via})"
-        if desc:
-            return desc
-        if via:
-            return f"via {via}"
-        return "source"
-
     return "\n".join(
-        f"{str(line):<{width}}  ; {lineage(node)}" for line, node in pairs
+        f"{str(line):<{width}}  ; {describe_lineage(node, provenance)}"
+        for line, node in pairs
     )

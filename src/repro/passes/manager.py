@@ -178,10 +178,11 @@ class PassManager:
 
     ``verify_each`` opts into LLVM-``-verify-each``-style validation: the
     input tree and every pass's output are re-checked by the IR
-    well-formedness verifier (:func:`repro.lint.verify_expr`), and a
-    violation raises :class:`PassVerificationError` naming the pass that
-    introduced it.  Off by default — the disabled path costs one ``if``
-    per pass.
+    well-formedness verifier (:func:`repro.lint.verify_expr`) — and, once
+    target instructions appear in the tree, by the machine-program lint
+    (:func:`repro.lint.machine_check`) — and a violation raises
+    :class:`PassVerificationError` naming the pass that introduced it.
+    Off by default — the disabled path costs one ``if`` per pass.
     """
 
     def __init__(self, passes: Sequence[Pass], verify_each: bool = False):
@@ -189,12 +190,20 @@ class PassManager:
         self.verify_each = verify_each
         if verify_each:
             # Bind once; repro.lint only imports ir/fpir (no cycle).
-            from ..lint import verify_expr
+            from ..lint import machine_check, verify_expr
 
             self._verify = verify_expr
+            self._machine_check = machine_check
 
     def _check(self, expr, where: str) -> None:
-        diagnostics = self._verify(expr)
+        diagnostics = list(self._verify(expr))
+        if not diagnostics:
+            # Once target ops appear (post-lowering), also run the
+            # machine-level lint (M-codes: def-before-use, semantics
+            # width/arity agreement, residual unlowered nodes, ...).
+            machine = getattr(self, "_machine_check", None)
+            if machine is not None:
+                diagnostics = machine(expr)
         if diagnostics:
             raise PassVerificationError(where, diagnostics)
 

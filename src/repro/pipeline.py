@@ -111,6 +111,13 @@ class CompiledProgram:
             )
         return format_explained(self.lowered, self.observation.provenance)
 
+    def register_pressure(self):
+        """Max-live register-pressure report for the lowered program
+        (:class:`~repro.analysis.dataflow.PressureReport`)."""
+        from .analysis.dataflow import MachineProgram, register_pressure
+
+        return register_pressure(MachineProgram.from_expr(self.lowered))
+
     @property
     def instructions(self) -> List[str]:
         return [line.mnemonic for line in self.linearized()]

@@ -1,0 +1,159 @@
+"""The dataflow framework: solver, canned analyses, pressure report.
+
+The hypothesis property pins the lattice liveness solver against a
+brute-force per-name recomputation (scan forward from each point for a
+use before a redefinition) on the lowered programs of the full workload
+x target matrix — the two formulations only agree when the transfer
+function, the boundary condition and the program-order bookkeeping are
+all right.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.dataflow import (
+    MachineProgram,
+    def_use_chains,
+    liveness,
+    reaching_definitions,
+    register_pressure,
+)
+from repro.pipeline import pitchfork_compile
+from repro.targets import PAPER_TARGETS, by_name as target_by_name
+from repro.workloads import WORKLOADS, by_name
+
+
+@pytest.fixture
+def diamond():
+    """t0 = a+b; t1 = t0*t0 (a value used twice, an input dying early)."""
+    return MachineProgram.from_lines(
+        [
+            ("t0", "add", ["a", "b"]),
+            ("t1", "mul", ["t0", "t0"]),
+        ],
+        inputs=["a", "b"],
+    )
+
+
+class TestMachineProgram:
+    def test_from_expr_matches_listing(self):
+        wl = by_name("sobel3x3")
+        prog = pitchfork_compile(
+            wl.expr, target_by_name("arm-neon"), var_bounds=wl.var_bounds
+        )
+        view = MachineProgram.from_expr(prog.lowered)
+        lines = prog.linearized()
+        assert len(view) == len(lines)
+        assert [i.dst for i in view.instrs] == [l.dst for l in lines]
+        assert view.result == lines[-1].dst
+        # Every use is either an input or defined strictly earlier.
+        for ins in view.instrs:
+            for use in ins.uses:
+                if use not in view.inputs:
+                    assert view.def_index(use) < ins.index
+
+    def test_const_operands_are_not_uses(self):
+        p = MachineProgram.from_lines(
+            [("t0", "shl", ["a"])], inputs=["a"]
+        )
+        assert p.instrs[0].uses == ("a",)
+
+    def test_result_of_empty_program(self):
+        assert MachineProgram(instrs=[]).result is None
+
+
+class TestCannedAnalyses:
+    def test_def_use_chains(self, diamond):
+        chains = def_use_chains(diamond)
+        assert chains["a"].def_index is None
+        assert chains["a"].uses == [0]
+        assert chains["t0"].def_index == 0
+        assert chains["t0"].uses == [1, 1]
+        assert not chains["t1"].uses  # the result: no reader, not dead
+        assert chains["t1"].is_dead  # ...as a raw chain property
+
+    def test_liveness(self, diamond):
+        live = liveness(diamond)
+        assert live.live_in[0] == frozenset({"a", "b"})
+        assert live.live_out[0] == frozenset({"t0"})
+        assert live.live_out[1] == frozenset({"t1"})
+        assert live.live_across(0) == frozenset({"a", "b", "t0"})
+
+    def test_reaching_definitions(self, diamond):
+        reach = reaching_definitions(diamond)
+        assert reach[0] == frozenset({("a", -1), ("b", -1)})
+        assert reach[1] == frozenset(
+            {("a", -1), ("b", -1), ("t0", 0)}
+        )
+
+    def test_redefinition_kills(self):
+        p = MachineProgram.from_lines(
+            [
+                ("t0", "add", ["a", "a"]),
+                ("t0", "mul", ["t0", "t0"]),
+            ],
+            inputs=["a"],
+        )
+        reach = reaching_definitions(p)
+        assert ("t0", 0) in reach[1]
+        live = liveness(p)
+        assert "t0" not in live.live_in[0]
+
+    def test_register_pressure(self, diamond):
+        report = register_pressure(diamond)
+        assert report.max_live == 3  # a, b, t0 across instruction 0
+        assert report.at_index == 0
+        assert report.timeline == [3, 2]
+        assert report.peak_values == ("a", "b", "t0")
+        assert "3 values live at peak" in report.format_line()
+        assert register_pressure(MachineProgram(instrs=[])).max_live == 0
+
+
+# ----------------------------------------------------------------------
+# Property: solver liveness == brute force, over the compiled matrix
+# ----------------------------------------------------------------------
+_CELLS = [(w, t.name) for w in WORKLOADS for t in PAPER_TARGETS]
+_PROGRAMS = {}
+
+
+def _program(cell):
+    view = _PROGRAMS.get(cell)
+    if view is None:
+        wl_name, target_name = cell
+        wl = by_name(wl_name)
+        prog = pitchfork_compile(
+            wl.expr, target_by_name(target_name), var_bounds=wl.var_bounds
+        )
+        view = _PROGRAMS[cell] = MachineProgram.from_expr(prog.lowered)
+    return view
+
+
+def _brute_live_in(program, name, index):
+    """Is ``name`` live entering ``index``?  Scan forward for a use
+    before a redefinition — the definition of liveness, no lattice."""
+    for ins in program.instrs[index:]:
+        if name in ins.uses:
+            return True
+        if ins.dst == name:
+            return False
+    return name == program.result
+
+
+@settings(max_examples=60, deadline=None)
+@given(cell=st.sampled_from(_CELLS), data=st.data())
+def test_liveness_matches_brute_force(cell, data):
+    program = _program(cell)
+    live = liveness(program)
+    names = set(program.inputs) | {i.dst for i in program.instrs}
+    index = data.draw(st.integers(0, len(program) - 1))
+    expected = frozenset(
+        n for n in names if _brute_live_in(program, n, index)
+    )
+    assert live.live_in[index] == expected, (
+        f"{'@'.join(cell)} live-in mismatch at instruction {index}"
+    )
+    expected_out = frozenset(
+        n for n in names if _brute_live_in(program, n, index + 1)
+    ) if index + 1 < len(program) else frozenset({program.result})
+    assert live.live_out[index] == expected_out

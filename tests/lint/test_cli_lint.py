@@ -61,6 +61,96 @@ class TestLintCommand:
         assert main(["lint", "--baseline", str(baseline)]) == 0
 
 
+class TestLintBackendFlags:
+    def test_machine_and_targets_clean(self, capsys):
+        assert main(["lint", "--machine", "--targets"]) == 0
+        out = capsys.readouterr().out
+        assert "containment proved on 48/48" in out
+        assert "target lint:" in out
+        assert "0 errors" in out
+
+    def _fake_machine_report(self, diagnostics=()):
+        from repro.lint import MachineLintReport
+
+        return MachineLintReport(
+            diagnostics=list(diagnostics),
+            cells={
+                "mean@arm-neon": {
+                    "diagnostics": [d.to_dict() for d in diagnostics],
+                    "containment": {
+                        "source": [0, 255], "machine": [0, 255],
+                        "contained": True,
+                    },
+                    "pressure": {
+                        "max_live": 3, "at_index": 0,
+                        "timeline": [3], "peak_values": [],
+                    },
+                    "mnemonics": ["urhadd"],
+                    "instructions": 1,
+                }
+            },
+            workloads=["mean"],
+            targets=["arm-neon"],
+        )
+
+    def test_machine_json_payload(self, capsys, monkeypatch):
+        import repro.lint as lint_mod
+
+        fake = self._fake_machine_report()
+        monkeypatch.setattr(
+            lint_mod, "run_machine_lint", lambda **kw: fake
+        )
+        assert main(["lint", "--machine", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["machine"]["contained_cells"] == 1
+        assert payload["machine"]["errors"] == 0
+        assert "targets" not in payload
+
+    def test_machine_warning_ratchets(self, tmp_path, capsys, monkeypatch):
+        from repro.lint.diagnostics import Diagnostic
+
+        import repro.lint as lint_mod
+
+        warn = Diagnostic(
+            "M004", "v0 = urhadd", "result never read", "mean@arm-neon"
+        )
+        fake = self._fake_machine_report([warn])
+        monkeypatch.setattr(
+            lint_mod, "run_machine_lint", lambda **kw: fake
+        )
+        baseline = tmp_path / "machinelint_baseline.txt"
+        baseline.write_text("# nothing tolerated\n")
+        assert main(
+            ["lint", "--machine", "--baseline", str(baseline)]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "M004 mean@arm-neon:v0 = urhadd" in out
+        baseline.write_text("M004 mean@arm-neon:v0 = urhadd\n")
+        assert main(
+            ["lint", "--machine", "--baseline", str(baseline)]
+        ) == 0
+
+    def test_machine_error_fails_regardless_of_baseline(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.lint.diagnostics import Diagnostic
+
+        import repro.lint as lint_mod
+
+        err = Diagnostic(
+            "M007", "urhadd", "interval escapes", "mean@arm-neon"
+        )
+        fake = self._fake_machine_report([err])
+        monkeypatch.setattr(
+            lint_mod, "run_machine_lint", lambda **kw: fake
+        )
+        baseline = tmp_path / "machinelint_baseline.txt"
+        baseline.write_text("M007 mean@arm-neon:urhadd\n")
+        assert main(
+            ["lint", "--machine", "--baseline", str(baseline)]
+        ) == 1
+
+
 class TestRulesVerify:
     def test_per_rule_verdicts_ok(self, capsys, monkeypatch):
         import repro.verify as verify_mod

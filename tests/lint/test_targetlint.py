@@ -1,0 +1,172 @@
+"""ISA-table lint (T-codes): fixtures per code + the shipped tables.
+
+The shipped-tables test is an acceptance criterion: all six target
+modules' spec tables (plus the generic cost tables behind them) lint
+clean — any regression lands as a T-code error or a ratcheted warning.
+"""
+
+import types
+
+import pytest
+
+from repro import fpir as F
+from repro.ir import expr as E
+from repro.ir.types import U8, U16
+from repro.lint import targetlint
+from repro.lint.targetlint import (
+    admissible_typing,
+    lint_all_targets,
+    lint_target,
+    table_specs,
+)
+from repro.targets import ALL_TARGETS, Target
+from repro.targets import arm as arm_mod
+from repro.targets import x86 as x86_mod
+from repro.targets.generic import GenericMapper
+from repro.targets.isa import InstrSpec, TargetDesc, target_op
+from repro.trs.pattern import TVar, Wild
+from repro.trs.rule import Rule
+
+
+def _spec(name, semantics, cost=1.0, swizzle=False):
+    return InstrSpec(name, "fake-isa", cost, semantics, None, swizzle)
+
+
+def _fake_target(specs, rules=(), costs=None, monkeypatch=None):
+    """A minimal Target whose 'module' holds the given spec constants."""
+    desc = TargetDesc("fake-isa", 128, 64)
+    module = types.SimpleNamespace(
+        DESC=desc, **{f"SPEC{i}": s for i, s in enumerate(specs)}
+    )
+    target = Target(
+        desc=desc,
+        generic=GenericMapper(
+            desc,
+            costs if costs is not None else {"add": 1.0},
+            lambda kind, t: f"{kind}.{t.code}",
+        ),
+        lowering_rules=list(rules),
+        rake_extra_rules=[],
+    )
+    monkeypatch.setitem(targetlint._MODULES, "fake-isa", module)
+    return target
+
+
+class TestAdmissibleTyping:
+    def test_same_width_binary(self):
+        shape = admissible_typing(arm_mod.UQADD)
+        assert shape is not None and shape[0] == shape[1]
+
+    def test_widened_first_accumulator(self):
+        # uaddw adds a narrow operand into a widened accumulator.
+        shape = admissible_typing(arm_mod.UADDW)
+        assert shape is not None
+        assert shape[0].bits == 2 * shape[1].bits
+
+    def test_narrowing_unary(self):
+        shape = admissible_typing(x86_mod.VPACKSS)
+        assert shape is not None and len(shape) == 1
+        assert shape[0].bits >= 16  # 8-bit lanes cannot narrow
+
+    def test_untypeable_spec(self):
+        bad = _spec("bad", lambda x: E.Add(x, E.Var(U16, "__w"))
+                    if x.type == U8 else E.Add(x, E.Var(U8, "__n")))
+        assert admissible_typing(bad) is None
+
+
+class TestFixtureCodes:
+    def test_t001_duplicate_mnemonic(self, monkeypatch):
+        s1 = _spec("twin", lambda a, b: E.Add(a, b), cost=1.0)
+        s2 = _spec("twin", lambda a, b: E.Add(a, b), cost=2.0)
+        target = _fake_target([s1, s2], monkeypatch=monkeypatch)
+        codes = [d.code for d in lint_target(target)]
+        assert "T001" in codes
+
+    def test_identical_respecs_are_not_duplicates(self, monkeypatch):
+        # Equal specs under different constants (re-exports) are benign.
+        s1 = _spec("same", lambda a, b: E.Add(a, b))
+        s2 = _spec("same", lambda a, b: E.Add(a, b))
+        target = _fake_target([s1, s2], monkeypatch=monkeypatch)
+        assert not any(d.code == "T001" for d in lint_target(target))
+
+    def test_t002_zero_and_negative_cost(self, monkeypatch):
+        free = _spec("free", lambda a, b: E.Add(a, b), cost=0.0)
+        neg = _spec("neg", lambda a, b: E.Add(a, b), cost=-1.0)
+        target = _fake_target([free, neg], monkeypatch=monkeypatch)
+        t002 = [d for d in lint_target(target) if d.code == "T002"]
+        assert {d.subject for d in t002} >= {"free", "neg"}
+
+    def test_t002_spares_swizzles_and_reinterpret(self, monkeypatch):
+        sw = _spec("shuffle", lambda a: F.Abs(a), cost=0.0, swizzle=True)
+        target = _fake_target(
+            [sw], costs={"add": 1.0, "reinterpret": 0.0},
+            monkeypatch=monkeypatch,
+        )
+        assert not any(d.code == "T002" for d in lint_target(target))
+
+    def test_t002_generic_cost_table(self, monkeypatch):
+        target = _fake_target(
+            [], costs={"add": 0.0, "mul": lambda bits: -1.0},
+            monkeypatch=monkeypatch,
+        )
+        t002 = [d for d in lint_target(target) if d.code == "T002"]
+        assert {d.subject for d in t002} == {
+            "generic:add", "generic:mul",
+        }
+
+    def test_t003_no_admissible_typing(self, monkeypatch):
+        def bad(x):
+            raise TypeError("never expands")
+
+        target = _fake_target(
+            [_spec("meaningless", bad)], monkeypatch=monkeypatch
+        )
+        codes = [d.code for d in lint_target(target)]
+        assert "T003" in codes
+
+    def test_t004_unreachable_spec_and_cross_check(self, monkeypatch):
+        used = _spec("used", lambda a, b: E.Add(a, b))
+        orphan = _spec("orphan", lambda a, b: E.Sub(a, b))
+        T = TVar("T")
+        rule = Rule(
+            "fake-add", E.Add(Wild("x", T), Wild("y", T)),
+            target_op(used, T, Wild("x", T), Wild("y", T)),
+        )
+        target = _fake_target(
+            [used, orphan], rules=[rule], monkeypatch=monkeypatch
+        )
+        t004 = [d for d in lint_target(target) if d.code == "T004"]
+        assert [d.subject for d in t004] == ["orphan"]
+        assert t004[0].severity == "warning"
+        # The sweep cross-check: an emitted mnemonic is reachable.
+        cleared = lint_target(target, emitted={"orphan"})
+        assert not any(d.code == "T004" for d in cleared)
+
+    def test_rule_specs_count_into_the_table(self, monkeypatch):
+        rule_only = _spec("ruleborn", lambda a: F.Abs(a))
+        T = TVar("T")
+        rule = Rule(
+            "fake-abs", F.Abs(Wild("x", T)),
+            target_op(rule_only, T, Wild("x", T)),
+        )
+        target = _fake_target([], rules=[rule], monkeypatch=monkeypatch)
+        origins = dict(table_specs(target))
+        assert origins["rule fake-abs"] is rule_only
+
+
+class TestShippedTables:
+    def test_all_tables_clean(self):
+        report = lint_all_targets()
+        assert report.errors == []
+        assert report.warnings == []
+        assert set(report.spec_counts) == set(ALL_TARGETS)
+        assert all(n > 0 for n in report.spec_counts.values())
+
+    def test_report_rendering(self):
+        report = lint_all_targets()
+        text = report.format_text()
+        assert "isa (x86-avx2)" in text
+        assert "0 errors" in text
+        payload = report.to_dict()
+        assert payload["errors"] == 0
+        assert payload["spec_counts"]["arm-neon"] > 0
