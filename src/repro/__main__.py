@@ -20,6 +20,10 @@ lint        statically lint every rulebase (stable L1xx diagnostic
 synthesize  run the §4 offline pipeline over chosen benchmarks
 cache       inspect/clear the persistent result cache; print the
             rulebase fingerprint (CI cache keys)
+serve       long-lived compile-as-a-service daemon: line-delimited
+            JSON requests (compile/evaluate/coverage/verify-rule/lint)
+            batched onto warm compiler state; Prometheus /metrics
+client      thin client for the serve daemon (scripting and CI)
 
 Sweep-shaped commands (evaluate, coverage, rules --verify, lint
 --coverage, synthesize) run on the execution fabric: ``--jobs N`` fans
@@ -46,12 +50,7 @@ from contextlib import nullcontext
 from . import targets as T
 from .lifting import LIFT_STRATEGIES
 from .passes import PassVerificationError
-from .pipeline import (
-    LLVMCompileError,
-    llvm_compile,
-    pitchfork_compile,
-    rake_compile,
-)
+from .pipeline import LLVMCompileError, llvm_compile, rake_compile
 from .workloads import WORKLOADS, by_name
 
 
@@ -185,8 +184,11 @@ def _print_stats(prog, compiler: str) -> None:
 
 
 def cmd_compile(args) -> int:
+    from .session import CompilerSession, compile_listing
+
     wl = by_name(args.workload)
-    clock, registry = _report_tools(args)
+    session = CompilerSession.from_args(args)
+    registry = session.metrics
     observing = bool(args.trace) or args.explain or registry is not None
     tracer = None
     if args.trace or registry is not None:
@@ -208,9 +210,9 @@ def cmd_compile(args) -> int:
                 else Observation.quiet(metrics=registry)
             )
         try:
-            with _phase(clock, f"compile:{target.name}"):
-                pf = pitchfork_compile(
-                    wl.expr, target, var_bounds=wl.var_bounds, trace=obs,
+            with session.phase(f"compile:{target.name}"):
+                pf = session.compile(
+                    wl.name, target.name, trace=obs,
                     verify_each=args.verify_each,
                     lift_strategy=args.lift_strategy,
                 )
@@ -218,10 +220,14 @@ def cmd_compile(args) -> int:
             print(f"VERIFY-EACH FAILED on {target.name}: {exc}",
                   file=sys.stderr)
             return 1
-        if args.show_fpir:
-            print(f"-- lifted FPIR:\n{pf.lifted}")
-        print(f"-- PITCHFORK ({pf.cost().total:.1f} modelled cycles/vec):")
-        print(pf.explain() if args.explain else pf.assembly())
+        # The listing body comes from the same formatter the daemon's
+        # ``compile`` replies use — the byte-identity contract.  The
+        # header was already printed (it must precede a verify failure),
+        # so strip the formatter's copy of it.
+        listing = compile_listing(
+            pf, wl.name, show_fpir=args.show_fpir, explain=args.explain
+        )
+        print(listing.split("\n", 1)[1])
         if args.stats:
             _print_stats(pf, "pitchfork")
         if args.compare:
@@ -253,20 +259,22 @@ def cmd_compile(args) -> int:
               f"({len(tracer.spans)} spans, "
               f"{len(tracer.instants)} rule events); load it in "
               f"chrome://tracing or ui.perfetto.dev")
-    _write_report(args, "compile", clock=clock, metrics=registry,
-                  tracer=tracer)
+    session.write_report(args.report, "compile", tracer=tracer)
     return 0
 
 
 def cmd_evaluate(args) -> int:
-    jobs, cache = _fabric_from_args(args)
-    eval_backend = _eval_backend_from_args(args)
-    clock, registry = _report_tools(args)
+    from .session import CompilerSession
+
+    session = CompilerSession.from_args(args)
+    jobs, cache = session.jobs, session.cache
+    eval_backend = session.eval_backend
+    registry = session.metrics
     extra = {}
     if args.figure == "all":
         from .evaluation.report import build_full_report
 
-        with _phase(clock, "evaluate:all"):
+        with session.phase("evaluate:all"):
             report = build_full_report(
                 with_rake=not args.no_rake, compile_repeats=args.repeats,
                 jobs=jobs, cache=cache,
@@ -277,18 +285,17 @@ def cmd_evaluate(args) -> int:
             print(f"wrote {args.write}")
         else:
             print(report)
-        _write_report(args, "evaluate", clock=clock, metrics=registry,
-                      cache=cache)
+        session.write_report(args.report, "evaluate")
         return 0
     if args.figure == "fig3":
         from .evaluation import run_codegen_comparison
 
-        with _phase(clock, "evaluate:fig3"):
+        with session.phase("evaluate:fig3"):
             print(run_codegen_comparison())
     elif args.figure == "fig5":
         from .evaluation import run_runtime_evaluation
 
-        with _phase(clock, "evaluate:fig5"):
+        with session.phase("evaluate:fig5"):
             ev = run_runtime_evaluation(
                 with_rake=not args.no_rake, jobs=jobs, cache=cache,
                 lift_strategy=args.lift_strategy,
@@ -302,7 +309,7 @@ def cmd_evaluate(args) -> int:
     elif args.figure == "fig6":
         from .evaluation import run_compile_time_evaluation
 
-        with _phase(clock, "evaluate:fig6"):
+        with session.phase("evaluate:fig6"):
             ev = run_compile_time_evaluation(
                 repeats=args.repeats, jobs=jobs,
                 lift_strategy=args.lift_strategy, metrics=registry,
@@ -311,11 +318,10 @@ def cmd_evaluate(args) -> int:
     elif args.figure == "fig7":
         from .evaluation import run_ablation
 
-        with _phase(clock, "evaluate:fig7"):
+        with session.phase("evaluate:fig7"):
             ev = run_ablation(jobs=jobs, cache=cache, metrics=registry)
         print(ev.format_table())
-    _write_report(args, "evaluate", clock=clock, metrics=registry,
-                  cache=cache, extra=extra)
+    session.write_report(args.report, "evaluate", extra=extra)
     return 0
 
 
@@ -395,15 +401,16 @@ def cmd_rules(args) -> int:
 
 def cmd_coverage(args) -> int:
     from .evaluation.coverage import run_coverage
+    from .session import CompilerSession
 
-    jobs, cache = _fabric_from_args(args)
-    clock, _registry = _report_tools(args)
+    session = CompilerSession.from_args(args)
+    jobs, cache = session.jobs, session.cache
     tracer = None
     if args.trace:
         from .observe import Tracer
 
         tracer = Tracer()
-    with _phase(clock, "coverage-sweep"):
+    with session.phase("coverage-sweep"):
         report = run_coverage(
             targets=_target_list(args.target), jobs=jobs, cache=cache,
             lift_strategy=args.lift_strategy, tracer=tracer,
@@ -421,10 +428,10 @@ def cmd_coverage(args) -> int:
         print(f"wrote {args.json}")
     # The run report aggregates the sweep's own registry (per-rule fire
     # counts and fabric telemetry merged across workers).
-    _write_report(args, "coverage", clock=clock, metrics=report.metrics,
-                  tracer=tracer, cache=cache,
-                  extra={"cell_failures": len(report.failures),
-                         "dead_rules": len(report.dead)})
+    session.metrics = report.metrics
+    session.write_report(args.report, "coverage", tracer=tracer,
+                         extra={"cell_failures": len(report.failures),
+                                "dead_rules": len(report.dead)})
     if report.failures:
         # A cell that failed to compile under-reports fire counts; that
         # must fail loudly, not masquerade as dead rules.
@@ -684,8 +691,10 @@ def cmd_cache(args) -> int:
         kib = s["bytes"] / 1024.0
         print(f"cache root: {s['root']}")
         print(f"entries: {s['entries']} ({kib:.1f} KiB)")
+        kind_bytes = s.get("kind_bytes", {})
         for kind, n in s["by_kind"].items():
-            print(f"   {kind:<16} {n:>6}")
+            kind_kib = kind_bytes.get(kind, 0) / 1024.0
+            print(f"   {kind:<16} {n:>6}  {kind_kib:>9.1f} KiB")
         if s["corrupt"]:
             print(f"corrupt entries: {s['corrupt']}")
     elif args.action == "clear":
@@ -711,6 +720,123 @@ def cmd_cache(args) -> int:
             )
         )
     return 0
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .serve import ServeDaemon
+    from .session import CompilerSession
+
+    session = CompilerSession.from_args(args)
+    daemon = ServeDaemon(
+        session=session,
+        batch_window_s=args.batch_window_ms / 1000.0,
+        max_batch=args.max_batch,
+        report_path=args.report,
+        trace_path=args.trace,
+    )
+    try:
+        return asyncio.run(
+            daemon.run(
+                host=args.host,
+                port=args.port,
+                unix=args.unix,
+                metrics_port=args.metrics_port,
+            )
+        )
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler race
+        return 0
+
+
+def cmd_client(args) -> int:
+    import json
+
+    from .serve import ServeClient, ServeError
+
+    try:
+        client = ServeClient(
+            host=args.host, port=args.port, unix=args.unix,
+            timeout=args.timeout,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot connect to daemon: {exc}", file=sys.stderr)
+        return 2
+    with client:
+        try:
+            if args.action == "ping":
+                print(json.dumps(client.ping(), sort_keys=True))
+            elif args.action == "shutdown":
+                client.shutdown()
+                print("daemon draining")
+            elif args.action == "cache-stats":
+                print(json.dumps(
+                    client.cache_stats(), indent=2, sort_keys=True
+                ))
+            elif args.action == "compile":
+                # Same output contract as the one-shot `repro compile`:
+                # listing per target, blank line after each.
+                requests = [
+                    ("compile", {
+                        "workload": args.workload,
+                        "target": target.name,
+                        "lift_strategy": args.lift_strategy,
+                    })
+                    for target in _target_list(args.target)
+                ]
+                failures = 0
+                for reply in client.batch(
+                    requests, deadline_s=args.deadline
+                ):
+                    if reply.get("ok"):
+                        print(reply["result"]["listing"])
+                        print()
+                    else:
+                        err = reply["error"]
+                        print(f"error [{err['code']}]: {err['message']}",
+                              file=sys.stderr)
+                        failures += 1
+                return 1 if failures else 0
+            elif args.action == "request":
+                # Raw frames (args or stdin), replies in arrival order —
+                # the scripting escape hatch for every other op.
+                lines = (
+                    sys.stdin if args.frame == ["-"] else args.frame
+                )
+                frames = [
+                    json.loads(line) for line in lines if line.strip()
+                ]
+                for frame in frames:
+                    client.send(frame)
+                for _ in frames:
+                    print(json.dumps(client.recv(), sort_keys=True))
+        except ServeError as exc:
+            print(f"error [{exc.code}]: {exc}", file=sys.stderr)
+            return 1
+        except BrokenPipeError:
+            # Downstream closed stdout early (`repro client ... | head`).
+            # Point stdout at devnull so the interpreter's exit-time
+            # flush doesn't warn, and exit quietly like other CLIs.
+            import os
+
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+            return 0
+        except (ConnectionError, OSError, json.JSONDecodeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    return 0
+
+
+def _add_client_conn_args(p) -> None:
+    """Where the daemon lives, shared by every ``client`` action."""
+    p.add_argument("--host", default="127.0.0.1",
+                   help="daemon host (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=None, metavar="N",
+                   help="daemon TCP port")
+    p.add_argument("--unix", metavar="PATH",
+                   help="daemon unix socket path (instead of --port)")
+    p.add_argument("--timeout", type=float, default=60.0, metavar="S",
+                   help="socket timeout in seconds (default 60)")
 
 
 def main(argv=None) -> int:
@@ -860,6 +986,83 @@ def main(argv=None) -> int:
                     help="tolerated relative worsening (default 0.1 = "
                          "10%%)")
     pr.set_defaults(fn=cmd_report_diff)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the compile-as-a-service daemon: line-delimited JSON "
+             "requests over TCP or a unix socket, batched onto warm "
+             "compiler state",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=0, metavar="N",
+                   help="TCP port (default 0: pick a free port and "
+                        "print it)")
+    p.add_argument("--unix", metavar="PATH",
+                   help="serve on a unix socket instead of TCP")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes, forked after warm-up "
+                        "(default 1: run batches on the warm daemon "
+                        "state itself)")
+    p.add_argument("--batch-window-ms", type=float, default=2.0,
+                   metavar="MS", dest="batch_window_ms",
+                   help="how long to wait for concurrent requests to "
+                        "coalesce into one fabric batch (default 2ms; "
+                        "0 disables the wait)")
+    p.add_argument("--max-batch", type=int, default=64, metavar="N",
+                   help="largest request batch per fabric dispatch "
+                        "(default 64)")
+    p.add_argument("--metrics-port", type=int, default=None,
+                   metavar="N", dest="metrics_port",
+                   help="also serve GET /metrics (Prometheus text "
+                        "exposition) and /healthz on this HTTP port "
+                        "(0: pick a free port)")
+    p.add_argument("--cache", action="store_true",
+                   help="persist request results in the content-"
+                        "addressed cache (shared with sweep runs)")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="cache directory (implies --cache)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="force caching off")
+    p.add_argument("--trace", metavar="FILE",
+                   help="on shutdown, write a Chrome trace of every "
+                        "batch (worker spans merged onto the daemon "
+                        "timeline)")
+    _add_report_arg(p)
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "client",
+        help="talk to a running serve daemon (scripting/CI)",
+    )
+    _add_client_conn_args(p)
+    p.add_argument("--deadline", type=float, default=None, metavar="S",
+                   help="per-request deadline_s to attach (seconds)")
+    csub = p.add_subparsers(dest="action", required=True)
+    pc = csub.add_parser("ping", help="round-trip liveness check")
+    pc = csub.add_parser(
+        "compile",
+        help="compile a benchmark via the daemon (output is byte-"
+             "identical to 'python -m repro compile')",
+    )
+    pc.add_argument("workload", choices=WORKLOADS)
+    pc.add_argument("--target", default="all",
+                    help="target name, 'all' (paper targets) or "
+                         "'every'")
+    _add_lift_strategy_arg(pc)
+    pc = csub.add_parser("cache-stats",
+                         help="the daemon's result-cache stats")
+    pc = csub.add_parser("shutdown",
+                         help="ask the daemon to drain and exit")
+    pc = csub.add_parser(
+        "request",
+        help="send raw JSON request frames ('-' reads them from stdin)",
+    )
+    pc.add_argument("frame", nargs="+",
+                    help="JSON request frames, one per argument; a "
+                         "single '-' reads frames from stdin (one per "
+                         "line)")
+    p.set_defaults(fn=cmd_client)
 
     p = sub.add_parser(
         "cache",

@@ -44,6 +44,7 @@ from .scheduler import (
     TaskResult,
     TaskSpec,
     WorkerObservation,
+    WorkerPool,
     get_job_kind,
     job_kind,
     run_tasks,
@@ -56,6 +57,7 @@ __all__ = [
     "TaskResult",
     "TaskSpec",
     "WorkerObservation",
+    "WorkerPool",
     "default_cache_dir",
     "digest",
     "eval_backend_fingerprint",

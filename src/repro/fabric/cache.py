@@ -145,26 +145,37 @@ class ResultCache:
                     yield os.path.join(subdir, name)
 
     def stats(self) -> Dict[str, Any]:
-        """Disk-level summary: entry/byte totals, split per job kind."""
+        """Disk-level summary: entry/byte totals, split per job kind.
+
+        ``by_kind`` maps kind -> entry count (the historical shape);
+        ``kind_bytes`` maps kind -> total bytes of that kind's entries,
+        so a daemon operator can see *which* job kind is filling the
+        cache, not just that something is.
+        """
         entries = 0
         total_bytes = 0
         by_kind: Dict[str, int] = {}
+        kind_bytes: Dict[str, int] = {}
         corrupt = 0
         for path in self._entries():
             entries += 1
+            size = 0
             try:
-                total_bytes += os.path.getsize(path)
+                size = os.path.getsize(path)
+                total_bytes += size
                 with open(path) as fh:
                     kind = json.load(fh).get("kind", "<unknown>")
             except (OSError, ValueError):
                 corrupt += 1
                 kind = "<corrupt>"
             by_kind[kind] = by_kind.get(kind, 0) + 1
+            kind_bytes[kind] = kind_bytes.get(kind, 0) + size
         return {
             "root": self.root,
             "entries": entries,
             "bytes": total_bytes,
             "by_kind": dict(sorted(by_kind.items())),
+            "kind_bytes": dict(sorted(kind_bytes.items())),
             "corrupt": corrupt,
             "session": {
                 "hits": self.hits,

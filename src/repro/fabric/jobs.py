@@ -149,6 +149,30 @@ def _run_coverage_cell(spec: TaskSpec) -> dict:
 
 
 # ----------------------------------------------------------------------
+# compile — one (workload, target) compile returning the CLI listing
+# ----------------------------------------------------------------------
+@job_kind("compile", cacheable=True, cache_parts=_coverage_parts)
+def _run_compile_cell(spec: TaskSpec) -> dict:
+    """Compile one cell and return the listing + modelled cycles.
+
+    The daemon's ``compile`` op: shares the coverage kind's cache parts
+    (same key/params shape, same semantic inputs), and the ``listing``
+    field is byte-identical to the one-shot CLI output by construction
+    (:func:`repro.session.compile_cell`).
+    """
+    from ..session import compile_cell
+
+    wl_name, target_name = spec.key
+    use_synthesized, *rest = spec.params
+    return compile_cell(
+        wl_name,
+        target_name,
+        use_synthesized=use_synthesized,
+        lift_strategy=_strategy_param(rest),
+    )
+
+
+# ----------------------------------------------------------------------
 # machinelint — M-code lint + translation validation of one compiled cell
 # ----------------------------------------------------------------------
 @job_kind("machinelint", cacheable=True, cache_parts=_coverage_parts)

@@ -40,10 +40,12 @@ Guarantees:
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -52,6 +54,7 @@ __all__ = [
     "TaskSpec",
     "TaskResult",
     "WorkerObservation",
+    "WorkerPool",
     "job_kind",
     "get_job_kind",
     "run_tasks",
@@ -256,12 +259,89 @@ class _Pending:
     cache_key: Optional[str] = None
 
 
+class WorkerPool:
+    """A persistent, reusable worker pool for repeated ``run_tasks`` calls.
+
+    ``run_tasks`` historically built (and tore down) a fresh
+    ``ProcessPoolExecutor`` per call — fine for one-shot sweeps, wasteful
+    for a long-lived service dispatching many small batches.  A
+    ``WorkerPool`` owns one executor across calls; pass it as
+    ``run_tasks(..., pool=...)`` and the scheduler fans out over it
+    without shutting it down afterwards.  One-shot paths (no ``pool``)
+    keep the per-call executor, byte-identically.
+
+    **Warm fork**: ``warm_up`` (optional) runs in the parent *before* the
+    first worker exists.  On platforms with the ``fork`` start method
+    (which this pool requests explicitly when available) workers are
+    forked lazily on first submit, so they inherit whatever the warm-up
+    built — interned expression arenas, discrimination-tree rule
+    indexes, memoized programs — instead of rebuilding it per process.
+
+    After a catastrophic worker death (``BrokenProcessPool``) the
+    executor is unusable; :meth:`rebuild` replaces it (re-running
+    ``warm_up`` is unnecessary — the parent stays warm, and fresh forks
+    re-inherit its state).
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        warm_up: Optional[Callable[[], Any]] = None,
+    ):
+        if jobs < 1:
+            raise ValueError(f"pool needs at least one worker, got {jobs}")
+        self.jobs = jobs
+        self._warm_up = warm_up
+        if warm_up is not None:
+            warm_up()
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._make_executor()
+
+    def _make_executor(self) -> None:
+        ctx = None
+        if "fork" in multiprocessing.get_all_start_methods():
+            ctx = multiprocessing.get_context("fork")
+        self._executor = ProcessPoolExecutor(
+            max_workers=self.jobs, mp_context=ctx
+        )
+
+    @property
+    def executor(self) -> ProcessPoolExecutor:
+        """The live executor (raises if the pool has been shut down)."""
+        if self._executor is None:
+            raise RuntimeError("worker pool has been shut down")
+        return self._executor
+
+    def rebuild(self) -> None:
+        """Replace a broken executor with a fresh one (same size)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+        self._make_executor()
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Release the workers; the pool is unusable afterwards."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "closed" if self._executor is None else "live"
+        return f"<WorkerPool jobs={self.jobs} {state}>"
+
+
 def run_tasks(
     specs: Sequence[TaskSpec],
     jobs: int = 1,
     cache=None,
     metrics=None,
     tracer=None,
+    pool: Optional[WorkerPool] = None,
 ) -> List[TaskResult]:
     """Run every task and return results **in input order**.
 
@@ -271,12 +351,20 @@ def run_tasks(
     optional observe-layer sinks — attaching either makes every task run
     under a :class:`WorkerObservation` whose metric snapshot and span
     list are merged back here (see the module docstring).
+
+    ``pool`` is an optional persistent :class:`WorkerPool`: when given
+    (and sized above one worker), fan-out reuses its executor instead of
+    building a fresh one, and leaves it running afterwards — the
+    long-lived-service path.  Without a pool the behaviour is exactly
+    the historical per-call executor.
     """
     _ensure_registered()
     specs = list(specs)
     results: List[Optional[TaskResult]] = [None] * len(specs)
     observe_metrics = metrics is not None
     observe_spans = tracer is not None and tracer.enabled
+    if pool is not None:
+        jobs = pool.jobs
 
     # -- phase 1: resolve cache hits ----------------------------------
     pending: List[_Pending] = []
@@ -306,7 +394,8 @@ def run_tasks(
                 p.spec, _execute(p.spec, observe_metrics, observe_spans)
             )
     else:
-        _run_pool(pending, jobs, results, observe_metrics, observe_spans)
+        _run_pool(pending, jobs, results, observe_metrics, observe_spans,
+                  pool=pool)
 
     # -- phase 3: persist + account -----------------------------------
     cache_keys = {p.index: p.cache_key for p in pending}
@@ -376,6 +465,7 @@ def _run_pool(
     results: List[Optional[TaskResult]],
     observe_metrics: bool = False,
     observe_spans: bool = False,
+    pool: Optional[WorkerPool] = None,
 ) -> None:
     """Fan pending tasks out over a worker pool, isolating crashes.
 
@@ -385,11 +475,21 @@ def _run_pool(
     future fails collaterally, so each affected task is retried once in
     a fresh single-worker pool — the genuinely poisonous task fails
     again (and is reported failed), innocent neighbours succeed.
+
+    With a persistent ``pool`` the executor is borrowed, not owned: it
+    is left running on exit, and a breakage triggers
+    :meth:`WorkerPool.rebuild` so the *next* batch gets a healthy pool
+    (the retry path below already covers this batch's casualties).
     """
     broken: List[_Pending] = []
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
+    executor_cm = (
+        nullcontext(pool.executor)
+        if pool is not None
+        else ProcessPoolExecutor(max_workers=jobs)
+    )
+    with executor_cm as executor:
         futures = {
-            pool.submit(
+            executor.submit(
                 _execute, p.spec, observe_metrics, observe_spans
             ): p
             for p in pending
@@ -407,6 +507,8 @@ def _run_pool(
                     results[p.index] = TaskResult(
                         p.spec, ok=False, error=f"{type(exc).__name__}: {exc}"
                     )
+    if broken and pool is not None:
+        pool.rebuild()
 
     rebuilds = 0
     for p in sorted(broken, key=lambda p: p.index):
@@ -416,11 +518,11 @@ def _run_pool(
                 error="worker pool broken (retry budget exhausted)",
             )
             continue
-        with ProcessPoolExecutor(max_workers=1) as pool:
+        with ProcessPoolExecutor(max_workers=1) as retry_pool:
             try:
                 results[p.index] = _to_result(
                     p.spec,
-                    pool.submit(
+                    retry_pool.submit(
                         _execute, p.spec, observe_metrics, observe_spans
                     ).result(),
                 )

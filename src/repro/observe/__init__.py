@@ -29,6 +29,7 @@ uninstrumented pipeline.
 
 from .metrics import (
     Counter,
+    Gauge,
     Histogram,
     MetricsRegistry,
     QUANTILE_RELATIVE_ERROR,
@@ -48,6 +49,7 @@ from .tracer import NullTracer, Tracer
 
 __all__ = [
     "Counter",
+    "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NullTracer",

@@ -1,7 +1,7 @@
-"""Labelled counters and quantile histograms for the compile pipeline.
+"""Labelled counters, gauges and quantile histograms for the pipeline.
 
-A :class:`MetricsRegistry` interns :class:`Counter` and :class:`Histogram`
-instruments by ``(name, labels)``; hot loops hold the instrument object
+A :class:`MetricsRegistry` interns :class:`Counter`, :class:`Gauge` and
+:class:`Histogram` instruments by ``(name, labels)``; hot loops hold the instrument object
 itself (one dict lookup per *loop*, one integer add per *event*).  The
 registry renders to a machine-readable snapshot via :meth:`to_dict` /
 :meth:`to_json` — consumed by the run-report subsystem
@@ -39,6 +39,7 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 __all__ = [
     "Counter",
     "GAMMA",
+    "Gauge",
     "Histogram",
     "MetricsRegistry",
     "QUANTILE_RELATIVE_ERROR",
@@ -95,6 +96,40 @@ class Counter:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Counter {self.name}{dict(self.labels)} = {self.value}>"
+
+
+class Gauge:
+    """A settable level instrument (queue depth, open connections).
+
+    Unlike a :class:`Counter`, a gauge goes both ways: :meth:`set`
+    pins it to an absolute level, :meth:`inc`/:meth:`dec` adjust it.
+    Under :meth:`MetricsRegistry.merge_snapshot` gauge levels *add* —
+    the natural reading for the fabric's per-worker snapshots, where
+    the merged value is the fleet-wide level (sum of per-process queue
+    depths), not any single process's.
+    """
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: _LabelKey):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Pin the gauge to an absolute level."""
+        self.value = value
+
+    def inc(self, n: float = 1.0) -> None:
+        """Raise the level by ``n`` (default 1)."""
+        self.value += n
+
+    def dec(self, n: float = 1.0) -> None:
+        """Lower the level by ``n`` (default 1)."""
+        self.value -= n
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Gauge {self.name}{dict(self.labels)} = {self.value}>"
 
 
 class Histogram:
@@ -223,6 +258,7 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._counters: Dict[Tuple[str, _LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, _LabelKey], Gauge] = {}
         self._histograms: Dict[Tuple[str, _LabelKey], Histogram] = {}
 
     # -- instruments ---------------------------------------------------
@@ -234,6 +270,15 @@ class MetricsRegistry:
             c = Counter(name, key[1])
             self._counters[key] = c
         return c
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """The gauge for ``(name, labels)``, created on first use."""
+        key = (name, _label_key(labels))
+        g = self._gauges.get(key)
+        if g is None:
+            g = Gauge(name, key[1])
+            self._gauges[key] = g
+        return g
 
     def histogram(self, name: str, **labels: Any) -> Histogram:
         """The histogram for ``(name, labels)``, created on first use."""
@@ -250,11 +295,22 @@ class MetricsRegistry:
         c = self._counters.get((name, _label_key(labels)))
         return c.value if c is not None else 0
 
+    def gauge_value(self, name: str, **labels: Any) -> float:
+        """Current level of a gauge, 0.0 if it was never touched."""
+        g = self._gauges.get((name, _label_key(labels)))
+        return g.value if g is not None else 0.0
+
     def counters(self, name: Optional[str] = None) -> Iterator[Counter]:
         """All counters, optionally filtered by instrument name."""
         for c in self._counters.values():
             if name is None or c.name == name:
                 yield c
+
+    def gauges(self, name: Optional[str] = None) -> Iterator[Gauge]:
+        """All gauges, optionally filtered by instrument name."""
+        for g in self._gauges.values():
+            if name is None or g.name == name:
+                yield g
 
     def histograms(self, name: Optional[str] = None) -> Iterator[Histogram]:
         """All histograms, optionally filtered by instrument name."""
@@ -276,6 +332,10 @@ class MetricsRegistry:
             {"name": c.name, "labels": dict(c.labels), "value": c.value}
             for c in self._counters.values()
         ]
+        gauges = [
+            {"name": g.name, "labels": dict(g.labels), "value": g.value}
+            for g in self._gauges.values()
+        ]
         histograms = [
             {
                 "name": h.name,
@@ -296,7 +356,15 @@ class MetricsRegistry:
             }
             for h in self._histograms.values()
         ]
-        return {"counters": counters, "histograms": histograms}
+        out: Dict[str, List[Dict[str, Any]]] = {
+            "counters": counters,
+            "histograms": histograms,
+        }
+        if gauges:
+            # Only present when used — older snapshot consumers (and the
+            # checked-in report baseline) predate the key.
+            out["gauges"] = gauges
+        return out
 
     def to_json(self, indent: Optional[int] = 1) -> str:
         """:meth:`to_dict`, serialized."""
@@ -317,6 +385,9 @@ class MetricsRegistry:
         """
         for c in snapshot.get("counters", ()):
             self.counter(c["name"], **c["labels"]).inc(c["value"])
+        for g in snapshot.get("gauges", ()):
+            # Levels add across processes (see the Gauge docstring).
+            self.gauge(g["name"], **g["labels"]).inc(g["value"])
         for h in snapshot.get("histograms", ()):
             inst = self.histogram(h["name"], **h["labels"])
             if not h["count"]:
@@ -373,6 +444,12 @@ class MetricsRegistry:
                 seen_types[name] = None
                 lines.append(f"# TYPE {name} counter")
             lines.append(f"{name}{label_str(c.labels)} {c.value}")
+        for g in self._gauges.values():
+            name = metric_name(g.name)
+            if name not in seen_types:
+                seen_types[name] = None
+                lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name}{label_str(g.labels)} {g.value:g}")
         for h in self._histograms.values():
             name = metric_name(h.name)
             if name not in seen_types:
@@ -391,7 +468,9 @@ class MetricsRegistry:
         return "\n".join(lines) + "\n"
 
     def __len__(self) -> int:
-        return len(self._counters) + len(self._histograms)
+        return (
+            len(self._counters) + len(self._gauges) + len(self._histograms)
+        )
 
 
 #: the process-wide default registry

@@ -1,0 +1,283 @@
+"""The wire protocol of ``repro serve``: line-delimited JSON frames.
+
+One request per line, one reply per line, over TCP or a unix socket.
+Requests::
+
+    {"id": 7, "op": "compile",
+     "params": {"workload": "sobel3x3", "target": "arm-neon"},
+     "deadline_s": 5.0}
+
+``id`` is any JSON scalar chosen by the client and echoed verbatim on
+the reply — replies may arrive out of order (the daemon batches and
+shards requests), so clients match by ``id``, not position.
+``deadline_s`` is a relative per-request budget in seconds; a request
+the daemon cannot *finish* within it gets a structured ``deadline``
+error instead of a stale result.
+
+Replies are ``{"id": ..., "ok": true, "result": {...}, "cached": bool,
+"seconds": float}`` on success and ``{"id": ..., "ok": false, "error":
+{"code": ..., "message": ...}}`` on failure — a malformed line, unknown
+op, bad parameter, expired deadline or crashed task always produces an
+error *reply*, never a dropped connection.
+
+Ops
+---
+``compile``, ``evaluate``, ``coverage``, ``verify-rule`` and ``lint``
+are **fabric ops**: each maps onto one :class:`~repro.fabric.TaskSpec`
+of an existing job kind (``compile`` / ``runtime`` / ``coverage`` /
+``verify-rule`` / ``machinelint``), so daemon replies reuse exactly the
+cell semantics — and content-addressed cacheability — of the one-shot
+sweeps.  ``ping``, ``cache-stats`` and ``shutdown`` are **inline ops**
+answered on the event loop without touching the batcher.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from ..fabric import TaskSpec
+
+__all__ = [
+    "FABRIC_OPS",
+    "INLINE_OPS",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "Request",
+    "encode_reply",
+    "error_reply",
+    "ok_reply",
+    "parse_request",
+    "to_task_spec",
+]
+
+PROTOCOL_VERSION = 1
+
+#: op name -> fabric job kind
+FABRIC_OPS: Dict[str, str] = {
+    "compile": "compile",
+    "evaluate": "runtime",
+    "coverage": "coverage",
+    "verify-rule": "verify-rule",
+    "lint": "machinelint",
+}
+#: ops the daemon answers inline, without batching
+INLINE_OPS = ("ping", "cache-stats", "shutdown")
+
+#: stable error codes (the protocol's whole error vocabulary)
+ERROR_CODES = (
+    "bad-request",    # unparsable line / malformed or invalid fields
+    "unknown-op",     # op not in FABRIC_OPS or INLINE_OPS
+    "deadline",       # per-request deadline expired
+    "task-failed",    # the job body raised (worker crash included)
+    "shutting-down",  # request arrived after drain began
+    "internal",       # daemon-side bug; the reply names the exception
+)
+
+
+class ProtocolError(Exception):
+    """A request the daemon must answer with a structured error."""
+
+    def __init__(self, code: str, message: str):
+        assert code in ERROR_CODES, code
+        self.code = code
+        self.message = message
+        super().__init__(f"{code}: {message}")
+
+
+@dataclass
+class Request:
+    """One parsed request frame."""
+
+    op: str
+    id: Any = None
+    params: Dict[str, Any] = field(default_factory=dict)
+    #: relative deadline in seconds (None: no deadline)
+    deadline_s: Optional[float] = None
+
+
+def parse_request(line: bytes) -> Request:
+    """Parse one frame; raises :class:`ProtocolError` on malformed input.
+
+    The ``id`` of a frame that fails to parse as a JSON object is
+    unknowable — the error reply carries ``id: null``; clients that
+    pipeline must treat a null-id error as poisoning the whole batch.
+    """
+    try:
+        doc = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError("bad-request", f"unparsable frame: {exc}")
+    if not isinstance(doc, dict):
+        raise ProtocolError(
+            "bad-request", f"frame must be a JSON object, got {type(doc).__name__}"
+        )
+    op = doc.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError("bad-request", "missing or non-string 'op'")
+    params = doc.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError("bad-request", "'params' must be an object")
+    deadline = doc.get("deadline_s")
+    if deadline is not None:
+        if (
+            not isinstance(deadline, (int, float))
+            or isinstance(deadline, bool)
+            or deadline <= 0
+        ):
+            raise ProtocolError(
+                "bad-request", "'deadline_s' must be a positive number"
+            )
+        deadline = float(deadline)
+    return Request(
+        op=op, id=doc.get("id"), params=params, deadline_s=deadline
+    )
+
+
+def _str_param(params: Dict[str, Any], name: str, default=None,
+               choices=None) -> Any:
+    value = params.get(name, default)
+    if value is None:
+        raise ProtocolError("bad-request", f"missing param {name!r}")
+    if not isinstance(value, str):
+        raise ProtocolError("bad-request", f"param {name!r} must be a string")
+    if choices is not None and value not in choices:
+        raise ProtocolError(
+            "bad-request",
+            f"param {name!r}: unknown value {value!r} "
+            f"(expected one of {sorted(choices)})",
+        )
+    return value
+
+
+def _cell_key(params: Dict[str, Any]) -> Tuple[str, str]:
+    """(workload, target) with both names validated eagerly."""
+    from ..targets import ALL_TARGETS
+    from ..workloads import WORKLOADS
+
+    wl = _str_param(params, "workload", choices=WORKLOADS)
+    target = _str_param(params, "target", choices=ALL_TARGETS)
+    return wl, target
+
+
+def _strategy(params: Dict[str, Any]) -> str:
+    from ..lifting import LIFT_STRATEGIES
+
+    return _str_param(
+        params, "lift_strategy", default="greedy", choices=LIFT_STRATEGIES
+    )
+
+
+def _backend(params: Dict[str, Any]) -> str:
+    from ..interp import BACKENDS
+
+    return _str_param(
+        params, "eval_backend", default="closure", choices=BACKENDS
+    )
+
+
+def _int_param(params: Dict[str, Any], name: str, default: int) -> int:
+    value = params.get(name, default)
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ProtocolError(
+            "bad-request", f"param {name!r} must be an integer"
+        )
+    return value
+
+
+def _bool_param(params: Dict[str, Any], name: str, default: bool) -> bool:
+    value = params.get(name, default)
+    if not isinstance(value, bool):
+        raise ProtocolError("bad-request", f"param {name!r} must be a bool")
+    return value
+
+
+def to_task_spec(req: Request) -> TaskSpec:
+    """Map a fabric-op request onto its job-kind descriptor.
+
+    Validation is eager — a bad workload/target/rule name fails here
+    with ``bad-request`` instead of surfacing as a worker traceback.
+    Param tuples mirror the shapes the sweeps use, so daemon cells and
+    sweep cells share cache entries.
+    """
+    if req.op not in FABRIC_OPS:
+        raise ProtocolError("unknown-op", f"not a fabric op: {req.op!r}")
+    p = req.params
+    if req.op == "compile":
+        return TaskSpec(
+            "compile",
+            _cell_key(p),
+            (_bool_param(p, "use_synthesized", True), _strategy(p)),
+        )
+    if req.op == "coverage":
+        return TaskSpec(
+            "coverage",
+            _cell_key(p),
+            (_bool_param(p, "use_synthesized", True), _strategy(p)),
+        )
+    if req.op == "lint":
+        return TaskSpec(
+            "machinelint",
+            _cell_key(p),
+            (_bool_param(p, "use_synthesized", True), _strategy(p)),
+        )
+    if req.op == "evaluate":
+        return TaskSpec(
+            "runtime",
+            _cell_key(p),
+            (
+                _bool_param(p, "with_rake", False),
+                _bool_param(p, "leave_one_out", False),
+                _strategy(p),
+                _backend(p),
+            ),
+        )
+    # verify-rule
+    from ..fabric.jobs import VERIFY_RULESETS, resolve_rule
+
+    ruleset = _str_param(p, "ruleset", choices=VERIFY_RULESETS)
+    rule = _str_param(p, "rule")
+    try:
+        resolve_rule(ruleset, rule)
+    except KeyError as exc:
+        raise ProtocolError("bad-request", str(exc.args[0]))
+    return TaskSpec(
+        "verify-rule",
+        (ruleset, rule),
+        (
+            _int_param(p, "seed", 0),
+            _int_param(p, "max_type_combos", 6),
+            _int_param(p, "max_const_samples", 4),
+            _int_param(p, "max_points", 400),
+            _backend(p),
+        ),
+    )
+
+
+def ok_reply(req_id: Any, result: Any, cached: bool = False,
+             seconds: float = 0.0) -> Dict[str, Any]:
+    """A success frame."""
+    return {
+        "id": req_id,
+        "ok": True,
+        "result": result,
+        "cached": cached,
+        "seconds": seconds,
+    }
+
+
+def error_reply(req_id: Any, code: str, message: str) -> Dict[str, Any]:
+    """A structured-error frame."""
+    assert code in ERROR_CODES, code
+    return {
+        "id": req_id,
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+
+
+def encode_reply(reply: Dict[str, Any]) -> bytes:
+    """One reply, framed: compact JSON + newline."""
+    return (
+        json.dumps(reply, separators=(",", ":"), sort_keys=True) + "\n"
+    ).encode("utf-8")

@@ -68,6 +68,15 @@ class TestBasicOperation:
         assert cache.clear() == 2
         assert cache.stats()["entries"] == 0
 
+    def test_stats_split_bytes_per_kind(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path))
+        cache.put("small", cache.key("small", "1"), 1)
+        cache.put("big", cache.key("big", "1"), "x" * 4096)
+        s = cache.stats()
+        assert set(s["kind_bytes"]) == {"small", "big"}
+        assert s["kind_bytes"]["big"] > s["kind_bytes"]["small"] > 0
+        assert sum(s["kind_bytes"].values()) == s["bytes"]
+
     def test_default_dir_env_override(self, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/elsewhere")
         assert default_cache_dir() == "/tmp/elsewhere"
@@ -240,6 +249,82 @@ class TestInvalidation:
             for _ in range(2)
         }
         assert runs == {pipeline_rules_fingerprint("arm-neon")}
+
+
+class TestConcurrentAccess:
+    """A daemon shares one cache dir across racing processes and
+    threads; the atomic tmp-file + rename discipline must guarantee a
+    reader never observes a torn entry, whoever wins the race."""
+
+    def test_racing_writers_leave_one_intact_entry(self, tmp_path):
+        import threading
+
+        cache = ResultCache(root=str(tmp_path))
+        key = cache.key("t-echo", "contended")
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def write(i):
+            try:
+                barrier.wait()
+                # Each writer stores a distinct (valid) payload.
+                ResultCache(root=str(tmp_path)).put(
+                    "t-echo", key, {"writer": i, "pad": "x" * 2000}
+                )
+            except Exception as exc:  # pragma: no cover - the failure
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=write, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        hit, value = cache.get("t-echo", key)
+        assert hit, "racing writers must still leave a readable entry"
+        # Whole-payload integrity: one writer's value, never a splice.
+        assert value["pad"] == "x" * 2000
+        assert value["writer"] in range(8)
+        # No leaked tmp files from the losing writers.
+        leftovers = [
+            f
+            for _dirpath, _dirs, files in os.walk(tmp_path)
+            for f in files
+            if f.endswith(".tmp")
+        ]
+        assert leftovers == []
+
+    def test_reader_during_write_never_sees_a_torn_entry(self, tmp_path):
+        import threading
+
+        cache = ResultCache(root=str(tmp_path))
+        key = cache.key("t-echo", "hot")
+        payload = {"pad": "y" * 5000}
+        cache.put("t-echo", key, payload)
+        stop = threading.Event()
+        torn = []
+
+        def rewrite():
+            w = ResultCache(root=str(tmp_path))
+            while not stop.is_set():
+                w.put("t-echo", key, payload)
+
+        writer = threading.Thread(target=rewrite)
+        writer.start()
+        try:
+            reader = ResultCache(root=str(tmp_path))
+            for _ in range(300):
+                hit, value = reader.get("t-echo", key)
+                # Under os.replace the entry is always whole: a miss or
+                # a partial payload here would be a torn read.
+                if not hit or value != payload:
+                    torn.append(value)
+        finally:
+            stop.set()
+            writer.join()
+        assert torn == []
 
 
 class TestSchedulerIntegration:

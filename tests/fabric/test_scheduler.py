@@ -132,3 +132,82 @@ class TestTelemetry:
         assert len(spans) == 3
         assert all(s.args["outcome"] == "ok" for s in spans)
         assert all(s.args["pid"] == os.getpid() for s in spans)
+
+
+class TestWorkerPool:
+    """The persistent pool behind ``run_tasks(..., pool=...)``."""
+
+    def test_pool_is_reused_across_calls(self):
+        from repro.fabric import WorkerPool
+
+        specs = [TaskSpec("t-echo", (str(i),)) for i in range(4)]
+        with WorkerPool(2) as pool:
+            first_executor = pool.executor
+            r1 = run_tasks(specs, pool=pool)
+            r2 = run_tasks(specs, pool=pool)
+            # Same executor object both times — no per-call rebuild.
+            assert pool.executor is first_executor
+        assert [r.value for r in r1] == [r.value for r in r2]
+        assert all(r.ok for r in r1 + r2)
+
+    def test_pooled_results_equal_one_shot(self):
+        from repro.fabric import WorkerPool
+
+        specs = [TaskSpec("t-jitter", (str(i),)) for i in range(6)]
+        oneshot = run_tasks(specs, jobs=2)
+        with WorkerPool(2) as pool:
+            pooled = run_tasks(specs, pool=pool)
+        assert [(r.ok, r.value) for r in pooled] == [
+            (r.ok, r.value) for r in oneshot
+        ]
+
+    def test_pool_size_overrides_the_jobs_argument(self):
+        from repro.fabric import WorkerPool
+
+        specs = [TaskSpec("t-echo", (str(i),)) for i in range(4)]
+        with WorkerPool(2) as pool:
+            results = run_tasks(specs, jobs=1, pool=pool)
+        # jobs=1 would have run inline; the pool's size wins.
+        assert any(r.pid != os.getpid() for r in results)
+
+    def test_warm_up_runs_once_in_the_parent(self):
+        from repro.fabric import WorkerPool
+
+        calls = []
+        with WorkerPool(2, warm_up=lambda: calls.append(os.getpid())):
+            pass
+        assert calls == [os.getpid()]
+
+    def test_pool_survives_a_worker_crash(self):
+        from repro.fabric import WorkerPool
+
+        with WorkerPool(2) as pool:
+            crashed = run_tasks(
+                [TaskSpec("t-crash", ("crash",)),
+                 TaskSpec("t-crash", ("x",))],
+                pool=pool,
+            )
+            by_key = {r.spec.key[0]: r for r in crashed}
+            assert not by_key["crash"].ok
+            assert by_key["x"].ok
+            # The executor was rebuilt in place: the same pool handle
+            # keeps dispatching (the daemon's crash-resilience story).
+            again = run_tasks(
+                [TaskSpec("t-echo", (str(i),)) for i in range(3)],
+                pool=pool,
+            )
+            assert all(r.ok for r in again)
+
+    def test_shut_down_pool_refuses_use(self):
+        from repro.fabric import WorkerPool
+
+        pool = WorkerPool(2)
+        pool.shutdown()
+        with pytest.raises(RuntimeError, match="shut down"):
+            pool.executor
+
+    def test_pool_needs_at_least_one_worker(self):
+        from repro.fabric import WorkerPool
+
+        with pytest.raises(ValueError):
+            WorkerPool(0)

@@ -199,12 +199,15 @@ class TestCompileVerifyEach:
         ) == 0
 
     def test_broken_pass_reported(self, capsys, monkeypatch):
+        from repro import pipeline
         from repro.passes import PassVerificationError
 
         def boom(*a, **kw):
             raise PassVerificationError("lift", [])
 
-        monkeypatch.setattr(cli, "pitchfork_compile", boom)
+        # CompilerSession imports pitchfork_compile from the pipeline
+        # module at call time, so patch it at the source.
+        monkeypatch.setattr(pipeline, "pitchfork_compile", boom)
         assert main(
             ["compile", "add", "--target", "arm-neon", "--verify-each"]
         ) == 1

@@ -240,3 +240,66 @@ class TestPrometheus:
         text = reg.to_prometheus(prefix="p_")
         assert "# TYPE p_weird_name_x counter" in text
         assert 'label="va\\"l"' in text
+
+
+class TestGauges:
+    def test_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("queue_depth")
+        g.set(5)
+        assert reg.gauge_value("queue_depth") == 5.0
+        g.inc()
+        g.inc(2)
+        g.dec(3)
+        assert g.value == 5.0
+        g.set(0)
+        assert reg.gauge_value("queue_depth") == 0.0
+
+    def test_gauge_identity_by_name_and_labels(self):
+        reg = MetricsRegistry()
+        assert reg.gauge("conns", port=1) is reg.gauge("conns", port=1)
+        assert reg.gauge("conns", port=1) is not reg.gauge("conns", port=2)
+
+    def test_untouched_gauge_reads_zero(self):
+        assert MetricsRegistry().gauge_value("never") == 0.0
+
+    def test_gauges_can_go_negative(self):
+        reg = MetricsRegistry()
+        reg.gauge("delta").dec(2.5)
+        assert reg.gauge_value("delta") == -2.5
+
+    def test_snapshot_omits_the_key_when_unused(self):
+        # The checked-in report baseline predates gauges; an idle
+        # registry must keep producing the historical snapshot shape.
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        assert "gauges" not in reg.to_dict()
+        reg.gauge("g").set(1)
+        assert reg.to_dict()["gauges"] == [
+            {"name": "g", "labels": {}, "value": 1.0}
+        ]
+
+    def test_merge_snapshot_sums_levels(self):
+        # Fleet-wide level = sum of per-process levels (each worker
+        # reports its own queue depth; merged, that is the total).
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("depth", lane="q").set(3)
+        b.gauge("depth", lane="q").set(4)
+        merged = MetricsRegistry()
+        merged.merge_snapshot(a.to_dict())
+        merged.merge_snapshot(b.to_dict())
+        assert merged.gauge_value("depth", lane="q") == 7.0
+
+    def test_prometheus_exposition(self):
+        reg = MetricsRegistry()
+        reg.gauge("queue_depth", lane="fabric").set(3)
+        text = reg.to_prometheus()
+        assert "# TYPE repro_queue_depth gauge" in text
+        assert 'repro_queue_depth{lane="fabric"} 3' in text
+
+    def test_len_includes_gauges(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(1)
+        reg.histogram("h").observe(1)
+        assert len(reg) == 3
